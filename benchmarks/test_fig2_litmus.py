@@ -1,0 +1,19 @@
+"""Figure 2: the non-ordering race example executions.
+
+Regenerates the figure's two verdicts from the programmer-centric
+checker: (a) has a non-ordering race; (b) is absolved by the valid path
+through the paired Z accesses.
+"""
+
+from repro.core.model import check
+from repro.eval.figures import figure2
+from repro.litmus.library import get
+
+
+def test_figure2_verdicts(benchmark):
+    text = benchmark(figure2)
+    print("\n" + text)
+    a = check(get("figure2a").program, "drfrlx")
+    b = check(get("figure2b").program, "drfrlx")
+    assert not a.legal and a.race_kinds == ("non_ordering",)
+    assert b.legal

@@ -1,0 +1,34 @@
+"""Figure 3: microbenchmark execution time (a) and energy (b) for all
+six configurations, normalized to GD0."""
+
+import pytest
+
+from repro.eval.harness import CONFIG_ORDER, micro_names, run_figure3
+
+
+def test_figure3_sweep(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_figure3, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print("\nFigure 3(a) — execution time normalized to GD0:")
+    header = "  ".join(f"{c:>5s}" for c in CONFIG_ORDER)
+    print(f"  {'':8s}{header}")
+    for wl in result.workloads():
+        t = result.normalized_time(wl)
+        print(f"  {wl:8s}" + "  ".join(f"{t[c]:5.2f}" for c in CONFIG_ORDER))
+    print("Figure 3(b) — total energy normalized to GD0:")
+    for wl in result.workloads():
+        e = result.normalized_energy(wl)
+        print(
+            f"  {wl:8s}"
+            + "  ".join(f"{sum(e[c].values()):5.2f}" for c in CONFIG_ORDER)
+        )
+
+    assert set(result.workloads()) == set(micro_names())
+    # Paper shapes: H is insensitive; SC/RC/SEQ benefit most from DRFrlx.
+    h = result.normalized_time("H")
+    assert max(h.values()) - min(h.values()) < 0.15
+    for wl in ("SC", "SEQ"):
+        t = result.normalized_time(wl)
+        assert t["GDR"] <= t["GD1"] + 0.02
+        assert t["DDR"] <= t["DD1"] + 0.02

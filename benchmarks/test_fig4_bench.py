@@ -1,0 +1,36 @@
+"""Figure 4: benchmark (UTS, BC x4, PR x4) execution time and energy for
+all six configurations, normalized to GD0."""
+
+import pytest
+
+from repro.eval.harness import CONFIG_ORDER, bench_names, run_figure4
+
+
+def test_figure4_sweep(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print("\nFigure 4(a) — execution time normalized to GD0:")
+    header = "  ".join(f"{c:>5s}" for c in CONFIG_ORDER)
+    print(f"  {'':8s}{header}")
+    for wl in result.workloads():
+        t = result.normalized_time(wl)
+        print(f"  {wl:8s}" + "  ".join(f"{t[c]:5.2f}" for c in CONFIG_ORDER))
+    print("Figure 4(b) — total energy normalized to GD0:")
+    for wl in result.workloads():
+        e = result.normalized_energy(wl)
+        print(
+            f"  {wl:8s}"
+            + "  ".join(f"{sum(e[c].values()):5.2f}" for c in CONFIG_ORDER)
+        )
+
+    assert set(result.workloads()) == set(bench_names())
+    # Paper shapes (Section 6): BC and PR benefit significantly from
+    # DRF1 and further from DRFrlx; UTS (unpaired only) gains nothing
+    # from DRFrlx over DRF1.
+    for wl in ("BC-4", "PR-1"):
+        t = result.normalized_time(wl)
+        assert t["GD1"] < t["GD0"]
+        assert t["GDR"] < t["GD1"]
+    uts = result.normalized_time("UTS")
+    assert uts["GDR"] == pytest.approx(uts["GD1"], rel=0.02)

@@ -1,0 +1,44 @@
+"""Section 4.4's omitted sensitivity studies, made mechanical.
+
+"More bins and reduced contention improve performance for all
+configurations, but did not change the observed trends."
+"""
+
+import pytest
+
+from repro.eval.sensitivity import histogram_sensitivity, warp_sensitivity
+
+
+def test_histogram_bin_sweep(benchmark):
+    series = benchmark.pedantic(
+        histogram_sensitivity,
+        kwargs={"bin_counts": (16, 64, 256), "updates_per_warp": 24},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nHG bin-count sweep (cycles):")
+    for cfg, values in sorted(series.items()):
+        print(f"  {cfg}: " + "  ".join(f"{b}b={c:.0f}" for b, c in values))
+    # More bins (less contention) never hurts the contended configs much:
+    for cfg in ("GD0", "GDR"):
+        values = dict(series[cfg])
+        assert values[256] <= values[16] * 1.05, (cfg, values)
+
+
+def test_warp_count_sweep(benchmark):
+    series = benchmark.pedantic(
+        warp_sensitivity,
+        kwargs={"warp_counts": (1, 4), "updates_per_warp": 24},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nwarps/CU sweep (cycles):")
+    for cfg, values in sorted(series.items()):
+        print(f"  {cfg}: " + "  ".join(f"{w}w={c:.0f}" for w, c in values))
+    # Multithreading hides part of DRF0's serialized-atomic latency, so
+    # the DRF0/DRFrlx ratio shrinks as warps increase.
+    gd0 = dict(series["GD0"])
+    gdr = dict(series["GDR"])
+    ratio_1w = gd0[1] / gdr[1]
+    ratio_4w = gd0[4] / gdr[4]
+    assert ratio_4w <= ratio_1w * 1.1

@@ -1,0 +1,43 @@
+"""Tables 1-4: regenerate each table's rows and check its content."""
+
+from repro.eval import tables
+from repro.litmus.library import use_cases
+from repro.sim.config import INTEGRATED, table2_rows
+from repro.sim.consistency import table4_rows
+from repro.workloads import all_workloads
+
+
+def test_table1_use_cases(benchmark):
+    text = benchmark(tables.table1)
+    print("\n" + text)
+    categories = {t.use_case for t in use_cases()}
+    assert {"Unpaired", "Commutative", "Non-Ordering", "Quantum", "Speculative"} <= categories
+    for category in categories:
+        assert category in text
+
+
+def test_table2_system_parameters(benchmark):
+    text = benchmark(tables.table2)
+    print("\n" + text)
+    rows = dict(table2_rows(INTEGRATED))
+    assert rows["GPU CUs"] == "15"
+    assert rows["Store buffer size"] == "128 entries"
+    assert "4 MB" in text and "32 KB" in text
+
+
+def test_table3_workloads(benchmark):
+    text = benchmark(tables.table3)
+    print("\n" + text)
+    names = {w.name for w in all_workloads()}
+    for name in ("H", "HG", "HG-NO", "Flags", "SC", "RC", "SEQ", "UTS"):
+        assert name in names
+    assert "Quantum" in text and "Speculative" in text
+
+
+def test_table4_benefits(benchmark):
+    text = benchmark(tables.table4)
+    print("\n" + text)
+    rows = {r[0]: r[1:] for r in table4_rows()}
+    assert rows["Avoid cache invalidations at atomic loads"] == (False, True, True)
+    assert rows["Avoid store buffer flushes at atomic stores"] == (False, True, True)
+    assert rows["Overlap atomics in the memory system"] == (False, False, True)

@@ -1,0 +1,61 @@
+"""Author a custom workload kernel and measure what each model buys.
+
+Builds a bounded producer/consumer pipeline by hand with the trace IR:
+producers append results with commutative fetch-adds into per-stage
+tickets while consumers poll stage counters with non-ordering loads —
+then sweeps the three consistency models on both protocols.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core.labels import AtomicKind
+from repro.sim import CONFIG_ABBREV, INTEGRATED, Kernel, Phase, all_configurations, run_workload
+from repro.sim.trace import Compute, ld, rmw, st
+from repro.workloads.layout import AddressSpace
+
+COMM = AtomicKind.COMMUTATIVE
+NO = AtomicKind.NON_ORDERING
+DATA = AtomicKind.DATA
+
+space = AddressSpace()
+tickets = space.alloc("tickets", 8)  # one counter per pipeline stage
+buffers = space.alloc("buffers", 4096)
+
+kernel = Kernel("pipeline")
+phase = Phase("steady-state")
+ITEMS = 24
+
+for cu in range(INTEGRATED.num_cus):
+    for w in range(4):
+        warp_id = cu * 4 + w
+        trace = []
+        if warp_id % 2 == 0:  # producer
+            for i in range(ITEMS):
+                slot = (warp_id * ITEMS + i) % buffers.count
+                trace.append(Compute(6))  # produce
+                trace.append(st(buffers.addr(slot), DATA))
+                trace.append(rmw(tickets.addr(warp_id % 8), COMM))  # publish ticket
+        else:  # consumer
+            for i in range(ITEMS):
+                trace.append(ld(tickets.addr((warp_id - 1) % 8), NO))  # poll
+                slot = ((warp_id - 1) * ITEMS + i) % buffers.count
+                trace.append(ld(buffers.addr(slot), DATA))
+                trace.append(Compute(6))  # consume
+        phase.add_warp(cu, trace)
+kernel.phases.append(phase)
+
+print(f"custom kernel: {kernel.total_ops()} trace ops, "
+      f"{sum(len(t) for t in phase.warps_per_cu.values())} warps")
+print()
+print(f"{'config':6s} {'cycles':>10s} {'vs GD0':>7s}")
+base = None
+for protocol, model in all_configurations():
+    run = run_workload(kernel, protocol, model)
+    if base is None:
+        base = run.cycles
+    name = CONFIG_ABBREV[(protocol, model)]
+    print(f"{name:6s} {run.cycles:10.0f} {run.cycles / base:7.2f}")
+
+print("\nReading the result: DRF0 treats the ticket/poll atomics as SC")
+print("atomics (invalidations + flushes + no overlap); DRF1 stops the")
+print("invalidations; DRFrlx additionally overlaps the publish RMWs.")

@@ -1,0 +1,43 @@
+"""Mini Figure 3: one workload across all six system configurations.
+
+Runs a chosen workload (default: the SplitCounter microbenchmark) on
+{GPU, DeNovo} x {DRF0, DRF1, DRFrlx} and prints normalized execution
+time plus the per-component energy stacks of Figure 3(b).
+
+Run:  python examples/evaluate_configs.py [workload] [scale]
+      e.g. python examples/evaluate_configs.py BC-4 0.5
+"""
+
+import sys
+
+from repro.energy import DEFAULT_ENERGY_MODEL
+from repro.sim import CONFIG_ABBREV, INTEGRATED, all_configurations, run_workload
+from repro.workloads import get
+
+workload_name = sys.argv[1] if len(sys.argv) > 1 else "SC"
+scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+workload = get(workload_name)
+kernel = workload.build(INTEGRATED, scale)
+print(f"workload: {workload.name} — {workload.description}")
+print(f"input:    {workload.input_desc}  (scale {scale}, {kernel.total_ops()} trace ops)")
+print()
+
+results = {}
+for protocol, model in all_configurations():
+    run = run_workload(kernel, protocol, model)
+    results[CONFIG_ABBREV[(protocol, model)]] = run
+
+base_cycles = results["GD0"].cycles
+base_energy = DEFAULT_ENERGY_MODEL.total(results["GD0"].stats)
+
+print(f"{'config':6s} {'cycles':>12s} {'time/GD0':>9s} {'energy/GD0':>11s}   energy stack")
+for name in ("GD0", "GD1", "GDR", "DD0", "DD1", "DDR"):
+    run = results[name]
+    energy = DEFAULT_ENERGY_MODEL.breakdown(run.stats)
+    total = sum(energy.values())
+    stack = " ".join(f"{k}={v / base_energy:.2f}" for k, v in energy.items())
+    print(
+        f"{name:6s} {run.cycles:12.0f} {run.cycles / base_cycles:9.2f} "
+        f"{total / base_energy:11.2f}   [{stack}]"
+    )

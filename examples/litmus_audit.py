@@ -1,0 +1,54 @@
+"""Audit a hand-written synchronization idiom with the DRFrlx checker.
+
+Scenario: a producer publishes a payload and raises a flag; the consumer
+polls the flag and reads the payload.  A developer, chasing performance,
+labels the flag accesses non-ordering — the checker catches it, shows a
+witness, and confirms the correct labelings.
+
+Run:  python examples/litmus_audit.py
+"""
+
+from repro.core import check, run_system_model
+from repro.core.labels import AtomicKind
+from repro.litmus import If, Program, Reg, load, store
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+NO = AtomicKind.NON_ORDERING
+
+
+def publish_consume(flag_kind):
+    return Program(
+        f"publish_consume[{flag_kind.name}]",
+        [
+            [store("payload", 42, DATA), store("flag", 1, flag_kind)],
+            [load("r", "flag", flag_kind), If(Reg("r"), [load("v", "payload", DATA)])],
+        ],
+    )
+
+
+print("== Mislabeled: non-ordering flag ==")
+bad = publish_consume(NO)
+result = check(bad, "drfrlx")
+print(f"  {result.summary()}")
+for witness in result.witnesses[:3]:
+    print(f"    witness: {witness.race!r}")
+
+machine = run_system_model(bad, "drfrlx")
+print(f"  relaxed machine outcomes: {len(machine.machine_outcomes)} "
+      f"(SC-reachable: {len(machine.sc_outcomes)})")
+if not machine.only_sc:
+    print("  -> the machine CAN return stale payload: the race is real.")
+
+print("\n== Fixed: paired (SC) flag ==")
+good = publish_consume(PAIRED)
+result = check(good, "drfrlx")
+print(f"  {result.summary()}")
+machine = run_system_model(good, "drfrlx")
+print(f"  relaxed machine stays SC: {machine.only_sc}")
+
+print("\n== What each model thinks of the non-ordering version ==")
+for model in ("drf0", "drf1", "drfrlx"):
+    print(f"  {check(bad, model).summary()}")
+print("\nNote: DRF0 accepts it (it strengthens every atomic to paired);"
+      "\nDRF1/DRFrlx reject it because the data accesses race.")

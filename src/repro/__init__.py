@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Chasing Away RAts: Semantics and Evaluation
+for Relaxed Atomics on Heterogeneous Systems" (Sinclair, Alsop, Adve,
+ISCA 2017).
+
+The package has two halves, mirroring the paper:
+
+- :mod:`repro.core` + :mod:`repro.litmus`: the DRFrlx memory model — SC
+  execution enumeration, race classification for the five relaxed-atomic
+  classes, the Herd-model transcription, and the system-centric relaxed
+  machine.
+- :mod:`repro.sim` + :mod:`repro.workloads` + :mod:`repro.energy` +
+  :mod:`repro.eval`: the evaluation — a CPU-GPU timing simulator with GPU
+  and DeNovo coherence under DRF0/DRF1/DRFrlx, the paper's workloads, and
+  the harness that regenerates every table and figure.
+"""
+
+from repro.core import (
+    AtomicKind,
+    CheckResult,
+    RaceAnalysis,
+    check,
+    check_all_models,
+    enumerate_sc_executions,
+    quantum_equivalent,
+    run_system_model,
+)
+from repro.litmus import Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicKind",
+    "CheckResult",
+    "Program",
+    "RaceAnalysis",
+    "__version__",
+    "check",
+    "check_all_models",
+    "enumerate_sc_executions",
+    "quantum_equivalent",
+    "run_system_model",
+]

@@ -1,0 +1,375 @@
+"""Operational enumeration of all SC executions of a litmus program.
+
+The enumerator explores every interleaving of the program's threads at the
+granularity of one memory operation per step (register computation and
+branch evaluation are folded into the preceding scheduling step, since they
+touch no shared state).  Each completed interleaving yields an
+:class:`~repro.core.events.Execution`; interleavings that produce the same
+per-thread events, reads-from and coherence order are collapsed into one
+execution.
+
+Loops are bounded by each :class:`~repro.litmus.ast.While`'s ``max_iters``;
+paths that exceed the bound are pruned and counted in
+:attr:`SCEnumeration.truncated_paths`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.events import Event, Execution, RmwInfo
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import (
+    Assign,
+    Fence,
+    If,
+    Instr,
+    LitmusError,
+    Load,
+    Rmw,
+    Store,
+    Value,
+    While,
+)
+from repro.litmus.program import Program
+
+
+class _Truncated(Exception):
+    """A path exceeded a While loop's unrolling bound."""
+
+
+@dataclass
+class _Frame:
+    """One level of structured control flow being executed."""
+
+    body: Tuple[Instr, ...]
+    idx: int
+    ctrl: FrozenSet[int]  # taints of every enclosing branch condition
+    loop: Optional[While]  # set when this frame is a While body
+    iters: int = 0
+
+    def clone(self) -> "_Frame":
+        return _Frame(self.body, self.idx, self.ctrl, self.loop, self.iters)
+
+
+class _ThreadState:
+    """Interpreter state for one thread of the program."""
+
+    def __init__(self, tid: int, body: Tuple[Instr, ...]):
+        self.tid = tid
+        self.regs: Dict[str, Value] = {}
+        self.frames: List[_Frame] = [_Frame(tuple(body), 0, frozenset(), None)]
+        self.pending: Optional[Instr] = None
+        self.pending_ctrl: FrozenSet[int] = frozenset()
+        self.done = False
+        self.mem_count = 0  # po_index generator for this thread's events
+
+    def clone(self) -> "_ThreadState":
+        other = _ThreadState.__new__(_ThreadState)
+        other.tid = self.tid
+        other.regs = dict(self.regs)
+        other.frames = [f.clone() for f in self.frames]
+        other.pending = self.pending
+        other.pending_ctrl = self.pending_ctrl
+        other.done = self.done
+        other.mem_count = self.mem_count
+        return other
+
+    def advance(self) -> None:
+        """Run register/control instructions until a memory operation is
+        pending or the thread finishes.  Raises :class:`_Truncated` when a
+        loop bound is exceeded."""
+        if self.pending is not None or self.done:
+            return
+        while self.frames:
+            frame = self.frames[-1]
+            if frame.idx >= len(frame.body):
+                if frame.loop is not None:
+                    cond = frame.loop.cond.evaluate(self.regs)
+                    if cond.val:
+                        frame.iters += 1
+                        if frame.iters >= frame.loop.max_iters:
+                            raise _Truncated()
+                        frame.idx = 0
+                        frame.ctrl = frame.ctrl | cond.taint
+                        continue
+                self.frames.pop()
+                continue
+            instr = frame.body[frame.idx]
+            if isinstance(instr, (Load, Store, Rmw)):
+                self.pending = instr
+                self.pending_ctrl = frame.ctrl
+                frame.idx += 1
+                return
+            frame.idx += 1
+            if isinstance(instr, Assign):
+                self.regs[instr.dst] = instr.expr.evaluate(self.regs)
+            elif isinstance(instr, Fence):
+                continue  # ordering only; no effect under SC
+            elif isinstance(instr, If):
+                cond = instr.cond.evaluate(self.regs)
+                branch = instr.then if cond.val else instr.orelse
+                if branch:
+                    self.frames.append(
+                        _Frame(branch, 0, frame.ctrl | cond.taint, None)
+                    )
+            elif isinstance(instr, While):
+                cond = instr.cond.evaluate(self.regs)
+                if cond.val:
+                    if instr.max_iters < 1:
+                        raise _Truncated()
+                    self.frames.append(
+                        _Frame(instr.body, 0, frame.ctrl | cond.taint, instr, 1)
+                    )
+            else:
+                raise LitmusError(f"unknown instruction {instr!r}")
+        self.done = True
+
+    # -- pending memory operation --------------------------------------------
+    def choices(self) -> Sequence[Tuple]:
+        """Nondeterministic outcomes of the pending op (quantum havoc)."""
+        instr = self.pending
+        assert instr is not None
+        if isinstance(instr, Load) and instr.havoc:
+            return [(v,) for v in instr.havoc]
+        if isinstance(instr, Store) and instr.havoc:
+            return [(v,) for v in instr.havoc]
+        if isinstance(instr, Rmw) and instr.havoc:
+            return [(ret, stored) for ret in instr.havoc for stored in instr.havoc]
+        return [()]
+
+
+@dataclass
+class _Builder:
+    """Accumulates events and relations along one DFS path."""
+
+    events: List[Event] = field(default_factory=list)
+    order: List[int] = field(default_factory=list)
+    rf_map: Dict[int, int] = field(default_factory=dict)
+    rmw_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    addr: List[Tuple[int, int]] = field(default_factory=list)
+    data: List[Tuple[int, int]] = field(default_factory=list)
+    ctrl: List[Tuple[int, int]] = field(default_factory=list)
+    rmw_info: Dict[int, RmwInfo] = field(default_factory=dict)
+    last_writer: Dict[str, int] = field(default_factory=dict)
+    next_eid: int = 0
+
+    def clone(self) -> "_Builder":
+        return _Builder(
+            list(self.events),
+            list(self.order),
+            dict(self.rf_map),
+            list(self.rmw_pairs),
+            list(self.addr),
+            list(self.data),
+            list(self.ctrl),
+            dict(self.rmw_info),
+            dict(self.last_writer),
+            self.next_eid,
+        )
+
+    def fresh_eid(self) -> int:
+        eid = self.next_eid
+        self.next_eid += 1
+        return eid
+
+    def add_event(self, event: Event) -> None:
+        self.events.append(event)
+        self.order.append(event.eid)
+        if event.is_write:
+            self.last_writer[event.loc] = event.eid
+
+
+def _execute_memory_op(
+    state: _ThreadState,
+    builder: _Builder,
+    memory: Dict[str, int],
+    choice: Tuple,
+) -> None:
+    """Execute the thread's pending memory instruction against *memory*."""
+    instr = state.pending
+    assert instr is not None
+    state.pending = None
+    ctrl_taint = state.pending_ctrl
+
+    loc, addr_taint = instr.loc.resolve(state.regs)
+    if loc not in memory:
+        memory[loc] = 0
+
+    def record_deps(eid: int, data_taint: FrozenSet[int] = frozenset()) -> None:
+        builder.addr.extend((t, eid) for t in addr_taint)
+        builder.data.extend((t, eid) for t in data_taint)
+        builder.ctrl.extend((t, eid) for t in ctrl_taint)
+
+    if isinstance(instr, Load):
+        eid = builder.fresh_eid()
+        read_value = memory[loc]
+        event = Event(eid, state.tid, "R", loc, read_value, instr.kind, state.mem_count)
+        state.mem_count += 1
+        builder.add_event(event)
+        if loc in builder.last_writer:
+            builder.rf_map[eid] = builder.last_writer[loc]
+        record_deps(eid)
+        result = choice[0] if instr.havoc else read_value
+        state.regs[instr.dst] = Value(result, frozenset({eid}))
+        return
+
+    if isinstance(instr, Store):
+        if instr.havoc:
+            stored = Value(choice[0], frozenset())
+        else:
+            stored = instr.value.evaluate(state.regs)
+        eid = builder.fresh_eid()
+        event = Event(eid, state.tid, "W", loc, stored.val, instr.kind, state.mem_count)
+        state.mem_count += 1
+        builder.add_event(event)
+        record_deps(eid, stored.taint)
+        memory[loc] = stored.val
+        return
+
+    if isinstance(instr, Rmw):
+        old = memory[loc]
+        operand = instr.operand.evaluate(state.regs)
+        operand2 = instr.operand2.evaluate(state.regs) if instr.operand2 else None
+        r_eid = builder.fresh_eid()
+        r_event = Event(r_eid, state.tid, "R", loc, old, instr.kind, state.mem_count)
+        state.mem_count += 1
+        builder.add_event(r_event)
+        if loc in builder.last_writer:
+            builder.rf_map[r_eid] = builder.last_writer[loc]
+
+        if instr.havoc:
+            returned, new_value = choice
+            operand_val = new_value  # the stored value is the random value
+        else:
+            returned = old
+            new_value = instr.apply(old, operand.val, operand2.val if operand2 else None)
+            operand_val = operand.val
+
+        w_eid = builder.fresh_eid()
+        w_event = Event(w_eid, state.tid, "W", loc, new_value, instr.kind, state.mem_count)
+        state.mem_count += 1
+        builder.add_event(w_event)
+        builder.rmw_pairs.append((r_eid, w_eid))
+        op_name = "exch" if instr.havoc else instr.op
+        builder.rmw_info[w_eid] = RmwInfo(
+            op_name, operand_val, operand2.val if operand2 else None
+        )
+
+        data_taint = operand.taint | (operand2.taint if operand2 else frozenset())
+        record_deps(r_eid)
+        record_deps(w_eid, data_taint)
+        memory[loc] = new_value
+        state.regs[instr.dst] = Value(returned, frozenset({r_eid}))
+        return
+
+    raise LitmusError(f"not a memory instruction: {instr!r}")
+
+
+@dataclass
+class SCEnumeration:
+    """Result of enumerating the SC executions of a program."""
+
+    program: Program
+    executions: Tuple[Execution, ...]
+    truncated_paths: int
+    interleavings: int
+
+    def final_results(self) -> Set[Tuple[Tuple[str, int], ...]]:
+        """The set of results (final memory states) over all SC executions."""
+        return {
+            tuple(sorted(ex.final_memory.items())) for ex in self.executions
+        }
+
+
+def enumerate_sc_executions(
+    program: Program,
+    max_executions: Optional[int] = None,
+) -> SCEnumeration:
+    """Enumerate every SC execution of *program* (deduplicated).
+
+    ``max_executions`` bounds the number of distinct executions collected
+    (a safety valve for property tests); ``None`` means exhaustive.
+    """
+    init_builder = _Builder()
+    init_memory: Dict[str, int] = {}
+    # Initial writes: one per location, first in T, excluded from races.
+    for idx, loc in enumerate(program.locations()):
+        val = program.initial_value(loc)
+        eid = init_builder.fresh_eid()
+        event = Event(eid, -1, "W", loc, val, AtomicKind.DATA, idx, is_init=True)
+        init_builder.add_event(event)
+        init_memory[loc] = val
+
+    init_states = [
+        _ThreadState(tid, thread.body) for tid, thread in enumerate(program.threads)
+    ]
+
+    seen: Set[Tuple] = set()
+    executions: List[Execution] = []
+    truncated = 0
+    interleavings = 0
+
+    # Each stack entry is (thread states, memory, builder); all cloned on branch.
+    stack: List[Tuple[List[_ThreadState], Dict[str, int], _Builder]] = [
+        (init_states, init_memory, init_builder)
+    ]
+
+    while stack:
+        states, memory, builder = stack.pop()
+
+        # Advance every thread to its next memory op (or completion).
+        truncated_here = False
+        for state in states:
+            try:
+                state.advance()
+            except _Truncated:
+                truncated += 1
+                truncated_here = True
+                break
+        if truncated_here:
+            continue
+
+        runnable = [s for s in states if s.pending is not None]
+        if not runnable:
+            interleavings += 1
+            execution = Execution(
+                events=builder.events,
+                order=builder.order,
+                rf_map=builder.rf_map,
+                rmw_pairs=builder.rmw_pairs,
+                dep_edges={
+                    "addr": builder.addr,
+                    "data": builder.data,
+                    "ctrl": builder.ctrl,
+                },
+                final_memory=memory,
+                final_registers=[
+                    {name: v.val for name, v in s.regs.items()} for s in states
+                ],
+                rmw_info=builder.rmw_info,
+            )
+            key = execution.canonical_key()
+            if key not in seen:
+                seen.add(key)
+                executions.append(execution)
+                if max_executions is not None and len(executions) >= max_executions:
+                    break
+            continue
+
+        for state in runnable:
+            for choice in state.choices():
+                new_states = [s.clone() for s in states]
+                new_memory = dict(memory)
+                new_builder = builder.clone()
+                target = next(s for s in new_states if s.tid == state.tid)
+                _execute_memory_op(target, new_builder, new_memory, choice)
+                stack.append((new_states, new_memory, new_builder))
+
+    return SCEnumeration(
+        program=program,
+        executions=tuple(executions),
+        truncated_paths=truncated,
+        interleavings=interleavings,
+    )

@@ -1,0 +1,119 @@
+"""Memory-operation labels for the DRF family of models.
+
+The paper (Section 3.6) distinguishes data operations from atomics, and
+splits atomics into six classes: paired (i.e. SC atomics), unpaired,
+commutative, non-ordering, quantum, and speculative.  The last four allow
+identical system optimizations and differ only in the reasoning obligations
+they place on the programmer, so :func:`is_relaxed` groups them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AtomicKind(enum.Enum):
+    """Label attached to every memory operation in a program.
+
+    ACQUIRE and RELEASE are an *extension* beyond the paper's scope
+    (footnote 7 points at seqlocks' reader-side accesses; Section 7 at
+    PLpc): synchronizing atomics that pair like PAIRED ones (a RELEASE
+    write orders with an ACQUIRE read) but relax their interaction with
+    data and relaxed accesses on one side — an ACQUIRE orders only the
+    accesses after it, a RELEASE only those before it.  Unlike C++
+    acquire/release, they stay program-ordered with respect to other
+    non-relaxed atomics, so racing on them still yields SC (the
+    DRF-centric contract is preserved).
+    """
+
+    DATA = "data"
+    PAIRED = "paired"
+    UNPAIRED = "unpaired"
+    COMMUTATIVE = "commutative"
+    NON_ORDERING = "non_ordering"
+    QUANTUM = "quantum"
+    SPECULATIVE = "speculative"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    #: HRF comparator (Section 7): an SC atomic with *local* scope —
+    #: synchronizes only threads in the same group (work-group / CU).
+    #: Not part of DRFrlx; used by repro.core.hrf and the "hrf"
+    #: simulator model to reproduce the paper's scopes-vs-DeNovo
+    #: discussion.  DRF0/DRF1/DRFrlx strengthen it to (global) PAIRED.
+    PAIRED_LOCAL = "paired_local"
+
+    def __repr__(self) -> str:  # keep test output readable
+        return self.name
+
+
+#: Atomic classes whose accesses a DRFrlx system may freely overlap and
+#: reorder in the memory system (Table 4, third row).
+RELAXED_KINDS = frozenset(
+    {
+        AtomicKind.COMMUTATIVE,
+        AtomicKind.NON_ORDERING,
+        AtomicKind.QUANTUM,
+        AtomicKind.SPECULATIVE,
+    }
+)
+
+#: Every label that identifies a synchronization (atomic) access.
+ATOMIC_KINDS = frozenset(set(AtomicKind) - {AtomicKind.DATA})
+
+#: Labels that can create synchronization order: writes of SYNC_WRITE
+#: kinds pair with reads of SYNC_READ kinds (so1 / happens-before-1).
+SYNC_WRITE_KINDS = frozenset({AtomicKind.PAIRED, AtomicKind.RELEASE})
+SYNC_READ_KINDS = frozenset({AtomicKind.PAIRED, AtomicKind.ACQUIRE})
+
+#: Atomic classes the system keeps in program order among themselves
+#: (everything atomic except the four relaxed classes).
+ORDERED_ATOMIC_KINDS = frozenset(ATOMIC_KINDS - RELAXED_KINDS)
+
+
+def is_atomic(kind: AtomicKind) -> bool:
+    """Return True when *kind* is any atomic class (everything but DATA)."""
+    return kind is not AtomicKind.DATA
+
+
+def is_relaxed(kind: AtomicKind) -> bool:
+    """Return True for the four DRFrlx relaxed classes (Section 3.6)."""
+    return kind in RELAXED_KINDS
+
+
+def effective_kind(kind: AtomicKind, model: str) -> AtomicKind:
+    """Map a program label to the label a given model actually honors.
+
+    ``model`` is one of ``"drf0"``, ``"drf1"``, ``"drfrlx"``:
+
+    - DRF0 only knows data and (paired) atomics, so every atomic class is
+      strengthened to PAIRED.
+    - DRF1 additionally knows unpaired atomics, so every relaxed class is
+      treated as UNPAIRED (ordered among atomics, but no cache invalidation
+      or store-buffer flush); the synchronizing ACQUIRE/RELEASE extension
+      labels must strengthen to PAIRED (weakening them to unpaired would
+      drop the synchronization the program relies on).
+    - DRFrlx honors every label.
+    """
+    if kind is AtomicKind.DATA:
+        return kind
+    if model == "drf0":
+        return AtomicKind.PAIRED
+    if model == "drf1":
+        if kind in (
+            AtomicKind.PAIRED,
+            AtomicKind.ACQUIRE,
+            AtomicKind.RELEASE,
+            AtomicKind.PAIRED_LOCAL,
+        ):
+            return AtomicKind.PAIRED
+        return AtomicKind.UNPAIRED
+    if model == "drfrlx":
+        if kind is AtomicKind.PAIRED_LOCAL:
+            return AtomicKind.PAIRED  # DRFrlx has no scopes
+        return kind
+    if model == "hrf":
+        # HRF extends DRF0 with scopes: every atomic is (scoped) paired.
+        if kind is AtomicKind.PAIRED_LOCAL:
+            return AtomicKind.PAIRED_LOCAL
+        return AtomicKind.PAIRED
+    raise ValueError(f"unknown consistency model: {model!r}")

@@ -1,0 +1,135 @@
+"""Programmer-centric checkers for DRF0, DRF1, and DRFrlx.
+
+Each checker answers the paper's program-definition question: *is this
+program race-free under the model's rules, over every SC execution?*
+(For DRFrlx, over every SC execution of the quantum-equivalent program —
+Section 3.4.3.)
+
+The three models differ only in (a) how labels are interpreted and (b)
+which race classes are illegal:
+
+========  =======================================  ==============================
+model     label interpretation                     illegal races
+========  =======================================  ==============================
+DRF0      every atomic is paired                   data races
+DRF1      paired / everything else unpaired        data races
+DRFrlx    all six classes honored                  data, commutative,
+                                                   non-ordering, quantum,
+                                                   speculative
+========  =======================================  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.executions import SCEnumeration, enumerate_sc_executions
+from repro.core.labels import ATOMIC_KINDS, AtomicKind
+from repro.core.quantum import quantum_equivalent
+from repro.core.races import Race, RaceAnalysis
+from repro.litmus.program import Program
+
+MODELS = ("drf0", "drf1", "drfrlx")
+
+from repro.core.labels import effective_kind
+
+_DRF0_RELABEL = {kind: effective_kind(kind, "drf0") for kind in ATOMIC_KINDS}
+_DRF1_RELABEL = {kind: effective_kind(kind, "drf1") for kind in ATOMIC_KINDS}
+
+_ILLEGAL_CLASSES = {
+    "drf0": ("data",),
+    "drf1": ("data",),
+    "drfrlx": ("data", "commutative", "non_ordering", "quantum", "speculative"),
+}
+
+
+@dataclass(frozen=True)
+class RaceWitness:
+    """A race found in a specific SC execution."""
+
+    execution_index: int
+    race: Race
+
+    def __repr__(self) -> str:
+        return f"RaceWitness(exec={self.execution_index}, {self.race!r})"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of a programmer-centric model check."""
+
+    program_name: str
+    model: str
+    legal: bool
+    witnesses: Tuple[RaceWitness, ...]
+    executions_explored: int
+    truncated_paths: int
+    checked_program: Program  # the (possibly relabeled/transformed) program
+
+    @property
+    def race_kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({w.race.kind for w in self.witnesses}))
+
+    def summary(self) -> str:
+        verdict = "LEGAL" if self.legal else "ILLEGAL"
+        kinds = ",".join(self.race_kinds) or "-"
+        return (
+            f"{self.program_name}: {self.model.upper()} {verdict} "
+            f"(races: {kinds}; {self.executions_explored} SC executions)"
+        )
+
+
+def _prepare(program: Program, model: str) -> Program:
+    if model == "drf0":
+        return program.relabel(_DRF0_RELABEL)
+    if model == "drf1":
+        return program.relabel(_DRF1_RELABEL)
+    if model == "drfrlx":
+        # DRFrlx has no scopes: a locally scoped paired atomic is
+        # checked as a (global) paired atomic.
+        program = program.relabel({AtomicKind.PAIRED_LOCAL: AtomicKind.PAIRED})
+        return quantum_equivalent(program)
+    raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+
+
+def check(
+    program: Program,
+    model: str,
+    max_executions: Optional[int] = None,
+    max_witnesses: int = 32,
+) -> CheckResult:
+    """Check *program* against one of the three models.
+
+    Enumerates every SC execution of the (relabeled / quantum-transformed)
+    program and classifies every race.  ``max_witnesses`` caps how many
+    race witnesses are retained; legality is still decided over all
+    executions explored.
+    """
+    prepared = _prepare(program, model)
+    enumeration = enumerate_sc_executions(prepared, max_executions=max_executions)
+    classes = _ILLEGAL_CLASSES[model]
+    witnesses = []
+    for idx, execution in enumerate(enumeration.executions):
+        analysis = RaceAnalysis(execution)
+        for race in analysis.illegal_races(classes):
+            if len(witnesses) < max_witnesses:
+                witnesses.append(RaceWitness(idx, race))
+            else:
+                break
+    return CheckResult(
+        program_name=program.name,
+        model=model,
+        legal=not witnesses,
+        witnesses=tuple(witnesses),
+        executions_explored=len(enumeration.executions),
+        truncated_paths=enumeration.truncated_paths,
+        checked_program=prepared,
+    )
+
+
+def check_all_models(
+    program: Program, max_executions: Optional[int] = None
+) -> Dict[str, CheckResult]:
+    """Run all three checkers; the per-model verdict table of Section 3.8."""
+    return {model: check(program, model, max_executions) for model in MODELS}

@@ -1,0 +1,256 @@
+"""Operations, the program/conflict graph, and ordering/valid paths.
+
+The paper's race definitions (Section 3.3.3) speak of *operations* —
+loads, stores, and read-modify-writes — while an execution is made of
+read/write *events* (an RMW is two events).  This module lifts events to
+operations, builds the program/conflict graph, and implements ordering
+paths and valid paths precisely (per-edge disjunction of the three
+validity clauses), which the Herd transcription in
+:mod:`repro.core.herd_model` can only approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.events import Event, Execution
+from repro.core.labels import AtomicKind
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A memory operation: a load, a store, or an RMW (read+write)."""
+
+    events: Tuple[Event, ...]
+
+    @property
+    def tid(self) -> int:
+        return self.events[0].tid
+
+    @property
+    def loc(self) -> str:
+        return self.events[0].loc
+
+    @property
+    def label(self) -> AtomicKind:
+        return self.events[0].label
+
+    @property
+    def is_rmw(self) -> bool:
+        return len(self.events) == 2
+
+    @property
+    def has_read(self) -> bool:
+        return any(e.is_read for e in self.events)
+
+    @property
+    def has_write(self) -> bool:
+        return any(e.is_write for e in self.events)
+
+    @property
+    def read_event(self) -> Optional[Event]:
+        for e in self.events:
+            if e.is_read:
+                return e
+        return None
+
+    @property
+    def write_event(self) -> Optional[Event]:
+        for e in self.events:
+            if e.is_write:
+                return e
+        return None
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.events[0].is_atomic
+
+    @property
+    def po_index(self) -> int:
+        return self.events[0].po_index
+
+    def conflicts_with(self, other: "Operation") -> bool:
+        return self.loc == other.loc and (self.has_write or other.has_write)
+
+    def __repr__(self) -> str:
+        shape = "RMW" if self.is_rmw else self.events[0].kind
+        return f"<op t{self.tid}.{self.po_index} {shape} {self.loc} {self.label.name}>"
+
+
+class OperationGraph:
+    """Operation-level view of an execution: the program/conflict graph
+    plus reachability queries used by the non-ordering race definition."""
+
+    def __init__(self, execution: Execution):
+        self.execution = execution
+        self.operations = self._lift_operations(execution)
+        self._event_to_op: Dict[int, Operation] = {}
+        for op in self.operations:
+            for e in op.events:
+                self._event_to_op[e.eid] = op
+
+    @staticmethod
+    def _lift_operations(execution: Execution) -> Tuple[Operation, ...]:
+        rmw_partner = {r.eid: w.eid for r, w in execution.rmw}
+        taken: Set[int] = set()
+        ops: List[Operation] = []
+        for e in sorted(execution.program_events, key=lambda e: (e.tid, e.po_index)):
+            if e.eid in taken:
+                continue
+            if e.eid in rmw_partner:
+                w = execution.by_eid[rmw_partner[e.eid]]
+                taken.add(w.eid)
+                ops.append(Operation((e, w)))
+            else:
+                ops.append(Operation((e,)))
+        return tuple(ops)
+
+    def op_of(self, event: Event) -> Operation:
+        return self._event_to_op[event.eid]
+
+    # -- op-level orders -----------------------------------------------------
+    def t_before(self, a: Operation, b: Operation) -> bool:
+        return self.execution.t_before(a.events[0], b.events[0])
+
+    def hb1_holds(self, hb1_event_pairs: FrozenSet[Tuple[int, int]],
+                  a: Operation, b: Operation) -> bool:
+        """hb1 lifted to operations: any event of *a* hb1-before any of *b*."""
+        return any(
+            (ea.eid, eb.eid) in hb1_event_pairs
+            for ea in a.events
+            for eb in b.events
+        )
+
+    @cached_property
+    def po_edges(self) -> FrozenSet[Tuple[Operation, Operation]]:
+        """Immediate program-order edges between operations."""
+        by_thread: Dict[int, List[Operation]] = {}
+        for op in self.operations:
+            by_thread.setdefault(op.tid, []).append(op)
+        edges: Set[Tuple[Operation, Operation]] = set()
+        for ops in by_thread.values():
+            ops.sort(key=lambda op: op.po_index)
+            for a, b in zip(ops, ops[1:]):
+                edges.add((a, b))
+        return frozenset(edges)
+
+    @cached_property
+    def conflict_edges(self) -> FrozenSet[Tuple[Operation, Operation]]:
+        """Conflict-order edges: conflicting operations, T-ordered."""
+        edges: Set[Tuple[Operation, Operation]] = set()
+        for a in self.operations:
+            for b in self.operations:
+                if a is b or a.tid == b.tid:
+                    continue
+                if a.conflicts_with(b) and self.t_before(a, b):
+                    edges.add((a, b))
+        return frozenset(edges)
+
+    @cached_property
+    def graph_edges(self) -> FrozenSet[Tuple[Operation, Operation]]:
+        """All edges of the program/conflict graph."""
+        return self.po_edges | self.conflict_edges
+
+    # -- reachability with program-order tracking ------------------------------
+    @staticmethod
+    def _reach_with_po(
+        nodes: Tuple[Operation, ...],
+        edges: FrozenSet[Tuple[Operation, Operation]],
+        po_edges: FrozenSet[Tuple[Operation, Operation]],
+    ) -> Tuple[Set[Tuple[Operation, Operation]], Set[Tuple[Operation, Operation]]]:
+        """Return (reach_any, reach_po): pairs connected by any path, and
+        pairs connected by a path containing at least one program-order edge."""
+        succ: Dict[Operation, List[Tuple[Operation, bool]]] = {}
+        for a, b in edges:
+            succ.setdefault(a, []).append((b, (a, b) in po_edges))
+        reach_any: Set[Tuple[Operation, Operation]] = set()
+        reach_po: Set[Tuple[Operation, Operation]] = set()
+        for start in nodes:
+            # BFS over (node, has_po_edge_so_far) states.
+            seen: Set[Tuple[Operation, bool]] = set()
+            frontier: List[Tuple[Operation, bool]] = [
+                (nxt, is_po) for nxt, is_po in succ.get(start, [])
+            ]
+            while frontier:
+                node, has_po = frontier.pop()
+                if (node, has_po) in seen:
+                    continue
+                seen.add((node, has_po))
+                reach_any.add((start, node))
+                if has_po:
+                    reach_po.add((start, node))
+                for nxt, is_po in succ.get(node, []):
+                    frontier.append((nxt, has_po or is_po))
+        return reach_any, reach_po
+
+    @cached_property
+    def _full_reach(self):
+        return self._reach_with_po(self.operations, self.graph_edges, self.po_edges)
+
+    def reaches(self, a: Operation, b: Operation) -> bool:
+        return (a, b) in self._full_reach[0]
+
+    def reaches_with_po(self, a: Operation, b: Operation) -> bool:
+        return (a, b) in self._full_reach[1]
+
+    def has_ordering_path(self, a: Operation, b: Operation) -> bool:
+        """An ordering path: a path from *a* to *b* with at least one
+        program-order edge, where *a* and *b* conflict (Section 3.3.3)."""
+        return a.conflicts_with(b) and self.reaches_with_po(a, b)
+
+    # -- valid paths ---------------------------------------------------------
+    #
+    # Section 3.3.3 lists three validity clauses.  Figure 2(a) shows that
+    # clause (1) "hb1" cannot mean "any hb1 edge is a valid path edge" —
+    # po edges are always hb1, which would validate the very path the
+    # figure flags as racy.  The Herd encoding (Listing 7), which the
+    # paper states is their model, realizes validity as two *uniform*
+    # path families: all edges between accesses to the same address
+    # (enforced by per-location SC), or all edges between paired/unpaired
+    # accesses (classes the system never reorders among themselves).
+    # Clause (1) corresponds to the endpoints being ordered by hb1
+    # outright (the ordering a DRF1 system already enforces).  We
+    # implement exactly that.
+
+    def _uniform_valid_path(
+        self,
+        a: Operation,
+        b: Operation,
+        edge_ok,
+    ) -> bool:
+        edges = frozenset(
+            (u, v) for u, v in self.graph_edges if edge_ok(u, v)
+        )
+        po_valid = frozenset(e for e in edges if e in self.po_edges)
+        __, reach_po = self._reach_with_po(self.operations, edges, po_valid)
+        return (a, b) in reach_po
+
+    def has_valid_path(
+        self,
+        a: Operation,
+        b: Operation,
+        hb1_event_pairs: FrozenSet[Tuple[int, int]],
+    ) -> bool:
+        """True when the ordering a -> b is enforced by a valid path:
+        the endpoints are hb1-ordered, or a uniform same-address atomic
+        path exists, or a uniform paired/unpaired path exists."""
+        if not a.conflicts_with(b):
+            return False
+        if self.hb1_holds(hb1_event_pairs, a, b):
+            return True
+        if self._uniform_valid_path(
+            a, b, lambda u, v: u.loc == v.loc and u.is_atomic and v.is_atomic
+        ):
+            return True
+        # Clause (3): accesses the system keeps program-ordered among
+        # themselves — paired/unpaired in the paper, plus the
+        # acquire/release extension labels (also never reordered with
+        # respect to other non-relaxed atomics).
+        from repro.core.labels import ORDERED_ATOMIC_KINDS
+
+        strong = ORDERED_ATOMIC_KINDS
+        return self._uniform_valid_path(
+            a, b, lambda u, v: u.label in strong and v.label in strong
+        )

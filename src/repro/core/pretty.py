@@ -1,0 +1,89 @@
+"""Human-readable rendering of executions and race witnesses.
+
+Race reports are only actionable if the developer can see the
+interleaving that produced them; :func:`explain` renders a check
+result's first witnesses with the execution laid out as one column per
+thread in SC order, races annotated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.events import Event, Execution
+from repro.core.executions import enumerate_sc_executions
+from repro.core.model import CheckResult
+from repro.core.races import Race
+
+
+def _event_cell(event: Event) -> str:
+    kind = "R" if event.is_read else "W"
+    label = event.label.name.lower()
+    return f"{kind} {event.loc}={event.value} [{label}]"
+
+
+def format_execution(execution: Execution, mark: Sequence[Event] = ()) -> str:
+    """One row per SC step, one column per thread."""
+    tids = sorted({e.tid for e in execution.program_events})
+    width = max(
+        [len(_event_cell(e)) + 4 for e in execution.program_events] + [12]
+    )
+    marked = {e.eid for e in mark}
+    header = "step | " + " | ".join(f"thread {tid}".ljust(width) for tid in tids)
+    lines = [header, "-" * len(header)]
+    step = 0
+    for event in execution.in_t_order():
+        if event.is_init:
+            continue
+        step += 1
+        cells = []
+        for tid in tids:
+            if event.tid == tid:
+                cell = _event_cell(event)
+                if event.eid in marked:
+                    cell += "  <<<"
+                cells.append(cell.ljust(width))
+            else:
+                cells.append(" " * width)
+        lines.append(f"{step:4d} | " + " | ".join(cells))
+    finals = ", ".join(f"{k}={v}" for k, v in sorted(execution.final_memory.items()))
+    lines.append(f"final memory: {finals}")
+    return "\n".join(lines)
+
+
+def format_race(race: Race) -> str:
+    return (
+        f"{race.kind} race between t{race.first.tid}'s "
+        f"{'RMW' if race.first.is_rmw else ('read' if race.first.has_read else 'write')} "
+        f"of {race.first.loc} ({race.first.label.name.lower()}) and t{race.second.tid}'s "
+        f"{'RMW' if race.second.is_rmw else ('read' if race.second.has_read else 'write')} "
+        f"of {race.second.loc} ({race.second.label.name.lower()})"
+    )
+
+
+def explain(result: CheckResult, max_witnesses: int = 2) -> str:
+    """Render a check result with its witness executions.
+
+    Re-enumerates the checked program to recover the witnesses'
+    executions (the result stores indices, not executions).
+    """
+    lines = [result.summary()]
+    if result.legal:
+        lines.append("No illegal races: every SC execution is clean.")
+        return "\n".join(lines)
+    executions = enumerate_sc_executions(result.checked_program).executions
+    shown = 0
+    for witness in result.witnesses:
+        if shown >= max_witnesses:
+            remaining = len(result.witnesses) - shown
+            if remaining:
+                lines.append(f"... and {remaining} more witness(es).")
+            break
+        shown += 1
+        race = witness.race
+        lines.append("")
+        lines.append(f"witness {shown}: {format_race(race)}")
+        execution = executions[witness.execution_index]
+        marked = tuple(race.first.events) + tuple(race.second.events)
+        lines.append(format_execution(execution, mark=marked))
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""The quantum transformation (Section 3.4.2/3.4.3).
+
+``quantum_equivalent(P)`` builds the program Pq in which every quantum
+load returns a nondeterministic ("random") value, every quantum store
+stores a nondeterministic value, and a quantum RMW does both.  The memory
+accesses themselves are preserved — Pq must still be checked for quantum
+races (quantum may only race with quantum), and the post-facto
+happens-before-consistency / per-location-SC constraints apply to the
+accesses — but the *values* the program observes are severed from memory,
+which is exactly how the paper isolates the non-SC-dependent part of the
+application.
+
+The conceptual ``random()`` is modelled as a nondeterministic choice over
+a finite value domain; the checker enumerates every choice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import (
+    BinOp,
+    Const,
+    If,
+    Instr,
+    Load,
+    Not,
+    Reg,
+    Rmw,
+    Store,
+    While,
+)
+from repro.litmus.program import Program
+
+
+def _constants_in_expr(expr) -> Set[int]:
+    if isinstance(expr, Const):
+        return {expr.value}
+    if isinstance(expr, BinOp):
+        return _constants_in_expr(expr.left) | _constants_in_expr(expr.right)
+    if isinstance(expr, Not):
+        return _constants_in_expr(expr.operand)
+    return set()
+
+
+def _constants_in_body(body: Sequence[Instr]) -> Set[int]:
+    out: Set[int] = set()
+    for instr in body:
+        if isinstance(instr, (Store,)):
+            out |= _constants_in_expr(instr.value)
+        elif isinstance(instr, Rmw):
+            out |= _constants_in_expr(instr.operand)
+            if instr.operand2 is not None:
+                out |= _constants_in_expr(instr.operand2)
+        elif isinstance(instr, If):
+            out |= _constants_in_expr(instr.cond)
+            out |= _constants_in_body(instr.then)
+            out |= _constants_in_body(instr.orelse)
+        elif isinstance(instr, While):
+            out |= _constants_in_expr(instr.cond)
+            out |= _constants_in_body(instr.body)
+    return out
+
+
+def default_domain(program: Program) -> Tuple[int, ...]:
+    """The default random-value domain: 0, 1 and every program constant.
+
+    Small by construction — the enumerator branches once per domain value
+    at every quantum access.
+    """
+    values: Set[int] = {0, 1}
+    for thread in program.threads:
+        values |= _constants_in_body(thread.body)
+    values |= set(program.init.values())
+    return tuple(sorted(values))
+
+
+def _transform_body(body: Sequence[Instr], domain: Tuple[int, ...]) -> Tuple[Instr, ...]:
+    out: List[Instr] = []
+    for instr in body:
+        if isinstance(instr, Load) and instr.kind is AtomicKind.QUANTUM:
+            out.append(Load(instr.dst, instr.loc, instr.kind, havoc=domain))
+        elif isinstance(instr, Store) and instr.kind is AtomicKind.QUANTUM:
+            out.append(Store(instr.loc, instr.value, instr.kind, havoc=domain))
+        elif isinstance(instr, Rmw) and instr.kind is AtomicKind.QUANTUM:
+            out.append(
+                Rmw(
+                    instr.dst,
+                    instr.loc,
+                    instr.op,
+                    instr.operand,
+                    instr.operand2,
+                    instr.kind,
+                    havoc=domain,
+                )
+            )
+        elif isinstance(instr, If):
+            out.append(
+                If(
+                    instr.cond,
+                    _transform_body(instr.then, domain),
+                    _transform_body(instr.orelse, domain),
+                )
+            )
+        elif isinstance(instr, While):
+            out.append(
+                While(instr.cond, _transform_body(instr.body, domain), instr.max_iters)
+            )
+        else:
+            out.append(instr)
+    return tuple(out)
+
+
+def quantum_equivalent(
+    program: Program, domain: Optional[Iterable[int]] = None
+) -> Program:
+    """Build the quantum-equivalent program Pq of *program*.
+
+    Returns *program* unchanged when it uses no quantum atomics.
+    """
+    if not program.uses_quantum():
+        return program
+    dom = tuple(domain) if domain is not None else default_domain(program)
+    if not dom:
+        raise ValueError("quantum value domain must be non-empty")
+    return Program(
+        f"{program.name}+quantum-equivalent",
+        [_transform_body(t.body, dom) for t in program.threads],
+        program.init,
+    )

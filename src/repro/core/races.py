@@ -1,0 +1,292 @@
+"""Race definitions of DRF1 and DRFrlx (Sections 2.3.2, 3.2.3, 3.3.3,
+3.4.3, 3.5.3 of the paper), evaluated over one SC execution.
+
+All classification is done at *operation* granularity (an RMW is one
+operation), matching the paper's terminology; happens-before-1 is computed
+at event granularity and lifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.events import Execution, RmwInfo
+from repro.core.labels import AtomicKind
+from repro.core.paths import Operation, OperationGraph
+from repro.core.relations import Relation
+
+
+@dataclass(frozen=True)
+class Race:
+    """One racy operation pair, tagged with its illegal-race class.
+
+    ``kind`` is one of ``"data"``, ``"commutative"``, ``"non_ordering"``,
+    ``"quantum"``, ``"speculative"``.  ``first`` precedes ``second`` in the
+    execution's SC total order.
+    """
+
+    kind: str
+    first: Operation
+    second: Operation
+
+    def __repr__(self) -> str:
+        return f"Race({self.kind}: {self.first!r} ~ {self.second!r})"
+
+
+#: Values of M probed by the semantic commutativity check, in addition to
+#: the operand values involved.
+_COMMUTE_PROBES = (-3, -1, 0, 1, 2, 3, 5, 8, 1 << 16, (1 << 16) - 1)
+
+
+def _write_effect(op: Operation, info: Optional[RmwInfo]):
+    """Return f(M) -> M' for the write half of *op*, or None for loads."""
+    if not op.has_write:
+        return None
+    if info is None:
+        value = op.write_event.value
+        return lambda m: value
+    return lambda m: _apply_rmw(info, m)
+
+
+def _apply_rmw(info: RmwInfo, old: int) -> int:
+    op, a, b = info.op, info.operand, info.operand2
+    if op == "add":
+        return old + a
+    if op == "sub":
+        return old - a
+    if op == "and":
+        return old & a
+    if op == "or":
+        return old | a
+    if op == "xor":
+        return old ^ a
+    if op == "min":
+        return min(old, a)
+    if op == "max":
+        return max(old, a)
+    if op == "exch":
+        return a
+    if op == "cas":
+        return b if old == a else old
+    raise AssertionError(op)
+
+
+def writes_commute(
+    op_a: Operation,
+    op_b: Operation,
+    rmw_info: Dict[int, RmwInfo],
+) -> bool:
+    """Section 3.2.3 commutativity: the two stores/RMWs to the same
+    location yield the same value for it in either order.
+
+    Checked semantically over a probe set of memory values (the write
+    functions in the paper's use cases — fetch-and-phi and constant stores
+    — are all decided exactly by this probe set).  Loads are never
+    commutative with anything.
+    """
+    if not (op_a.has_write and op_b.has_write):
+        return False
+    if op_a.loc != op_b.loc:
+        return True  # different locations never interfere
+    f = _write_effect(op_a, rmw_info.get(op_a.write_event.eid))
+    g = _write_effect(op_b, rmw_info.get(op_b.write_event.eid))
+    probes = set(_COMMUTE_PROBES)
+    for info in (rmw_info.get(op_a.write_event.eid), rmw_info.get(op_b.write_event.eid)):
+        if info is not None:
+            probes.add(info.operand)
+            if info.operand2 is not None:
+                probes.add(info.operand2)
+    probes.add(op_a.write_event.value)
+    probes.add(op_b.write_event.value)
+    return all(f(g(m)) == g(f(m)) for m in probes)
+
+
+class RaceAnalysis:
+    """All race classes of one SC execution, under the labels as given.
+
+    The caller chooses the model by relabeling the program before
+    enumeration (see :mod:`repro.core.model`):  under DRF0 every atomic is
+    PAIRED; under DRF1 every relaxed class is UNPAIRED; DRFrlx keeps all
+    six classes.
+    """
+
+    def __init__(self, execution: Execution):
+        self.execution = execution
+        self.graph = OperationGraph(execution)
+
+    # -- synchronization order and happens-before-1 ---------------------------
+    @cached_property
+    def so1(self) -> Relation:
+        """Synchronization order: a paired/release synchronization write
+        before a conflicting paired/acquire read in T.  (PAIRED-only in
+        the paper; RELEASE->ACQUIRE is this library's extension.)"""
+        from repro.core.labels import SYNC_READ_KINDS, SYNC_WRITE_KINDS
+
+        ex = self.execution
+        paired_w = [
+            e for e in ex.program_events
+            if e.is_write and e.label in SYNC_WRITE_KINDS
+        ]
+        paired_r = [
+            e for e in ex.program_events
+            if e.is_read and e.label in SYNC_READ_KINDS
+        ]
+        pairs = [
+            (w, r)
+            for w in paired_w
+            for r in paired_r
+            if w.conflicts_with(r) and ex.t_before(w, r)
+        ]
+        return Relation(pairs)
+
+    @cached_property
+    def hb1(self) -> Relation:
+        """Happens-before-1 = (po | so1)+ (Section 2.3.2)."""
+        return (self.execution.po | self.so1).transitive_closure()
+
+    @cached_property
+    def _hb1_eids(self) -> FrozenSet[Tuple[int, int]]:
+        return frozenset((a.eid, b.eid) for a, b in self.hb1)
+
+    def _hb1_ordered(self, a: Operation, b: Operation) -> bool:
+        return self.graph.hb1_holds(self._hb1_eids, a, b) or self.graph.hb1_holds(
+            self._hb1_eids, b, a
+        )
+
+    # -- races ----------------------------------------------------------------
+    @cached_property
+    def races(self) -> Tuple[Tuple[Operation, Operation], ...]:
+        """All racy operation pairs: conflicting, different threads, not
+        hb1-ordered either way.  Each pair is reported once, in T order."""
+        ops = self.graph.operations
+        out: List[Tuple[Operation, Operation]] = []
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if a.tid == b.tid or not a.conflicts_with(b):
+                    continue
+                if self._hb1_ordered(a, b):
+                    continue
+                if self.graph.t_before(a, b):
+                    out.append((a, b))
+                else:
+                    out.append((b, a))
+        return tuple(out)
+
+    def _observed(self, op: Operation) -> bool:
+        """Whether the value loaded by *op* is used by another instruction
+        in its thread (the paper's addr|data|ctrl approximation)."""
+        read = op.read_event
+        return read is not None and read in self.execution.observed_reads
+
+    # -- per-class classification ----------------------------------------------
+    @cached_property
+    def data_races(self) -> Tuple[Race, ...]:
+        return tuple(
+            Race("data", a, b)
+            for a, b in self.races
+            if a.label is AtomicKind.DATA or b.label is AtomicKind.DATA
+        )
+
+    @cached_property
+    def commutative_races(self) -> Tuple[Race, ...]:
+        """Section 3.2.3: a race involving a commutative atomic where the
+        pair is not commutative, or a loaded value is observed."""
+        out = []
+        info = self.execution.rmw_info
+        for a, b in self.races:
+            if AtomicKind.COMMUTATIVE not in (a.label, b.label):
+                continue
+            if a.label is AtomicKind.DATA or b.label is AtomicKind.DATA:
+                continue  # already a data race
+            if not writes_commute(a, b, info) or self._observed(a) or self._observed(b):
+                out.append(Race("commutative", a, b))
+        return tuple(out)
+
+    @cached_property
+    def non_ordering_races(self) -> Tuple[Race, ...]:
+        """Section 3.3.3: the racing pair lies on an ordering path between
+        conflicting operations A and B with no valid path from A to B."""
+        already = {
+            (r.first, r.second) for r in self.data_races + self.commutative_races
+        }
+        out = []
+        for x, y in self.races:
+            if (x, y) in already:
+                continue
+            if not (x.is_atomic and y.is_atomic):
+                continue
+            if AtomicKind.NON_ORDERING not in (x.label, y.label):
+                continue
+            if self._creates_unbacked_order(x, y):
+                out.append(Race("non_ordering", x, y))
+        return tuple(out)
+
+    def _creates_unbacked_order(self, x: Operation, y: Operation) -> bool:
+        """Does the conflict edge x -> y lie on an ordering path from some
+        A to some conflicting B that has no valid alternative path?"""
+        g = self.graph
+        ops = g.operations
+        for a in ops:
+            pre_any = a is x or g.reaches(a, x)
+            if not pre_any:
+                continue
+            pre_po = a is not x and g.reaches_with_po(a, x)
+            for b in ops:
+                if not a.conflicts_with(b) or a is b:
+                    continue
+                post_any = b is y or g.reaches(y, b)
+                if not post_any:
+                    continue
+                post_po = b is not y and g.reaches_with_po(y, b)
+                # The whole path needs at least one program-order edge
+                # (the x->y conflict edge contributes none).
+                if not (pre_po or post_po):
+                    continue
+                if a.tid == b.tid:
+                    continue  # same-thread conflicts are ordered by po itself
+                if not g.has_valid_path(a, b, self._hb1_eids):
+                    return True
+        return False
+
+    @cached_property
+    def quantum_races(self) -> Tuple[Race, ...]:
+        """Section 3.4.3: quantum operations may only race with quantum."""
+        out = []
+        for a, b in self.races:
+            qa = a.label is AtomicKind.QUANTUM
+            qb = b.label is AtomicKind.QUANTUM
+            if qa != qb:
+                out.append(Race("quantum", a, b))
+        return tuple(out)
+
+    @cached_property
+    def speculative_races(self) -> Tuple[Race, ...]:
+        """Section 3.5.3: a race involving a speculative atomic where both
+        sides write, or the racy load's value is observed."""
+        out = []
+        for a, b in self.races:
+            if AtomicKind.SPECULATIVE not in (a.label, b.label):
+                continue
+            if a.has_write and b.has_write:
+                out.append(Race("speculative", a, b))
+                continue
+            loads = [op for op in (a, b) if not op.has_write]
+            if any(self._observed(op) for op in loads):
+                out.append(Race("speculative", a, b))
+        return tuple(out)
+
+    def illegal_races(self, classes: Tuple[str, ...]) -> Tuple[Race, ...]:
+        """Union of the requested race classes, in a stable order."""
+        pools = {
+            "data": self.data_races,
+            "commutative": self.commutative_races,
+            "non_ordering": self.non_ordering_races,
+            "quantum": self.quantum_races,
+            "speculative": self.speculative_races,
+        }
+        out: List[Race] = []
+        for cls in classes:
+            out.extend(pools[cls])
+        return tuple(out)

@@ -1,0 +1,162 @@
+"""A tiny relational algebra over finite binary relations.
+
+This is the substrate on which Listing 7 of the paper (the Herd model of
+DRFrlx) is transcribed.  A :class:`Relation` is a finite set of ordered
+pairs of hashable elements, supporting the operators Herd's cat language
+provides: union, intersection, difference, sequential composition (``;``),
+transitive closure (``+``), reflexive-transitive closure (``*``), inverse
+(``^-1``), and restriction to cartesian products of sets (``S1 * S2``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Set,
+    Tuple,
+)
+
+Pair = Tuple[Hashable, Hashable]
+
+
+class Relation:
+    """An immutable finite binary relation."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+
+    # -- basic container protocol -------------------------------------------------
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        shown = sorted(self._pairs, key=repr)
+        return f"Relation({shown!r})"
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    # -- set-algebra operators ----------------------------------------------------
+    def __or__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs | other._pairs)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs & other._pairs)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs - other._pairs)
+
+    # -- relational operators -----------------------------------------------------
+    def compose(self, other: "Relation") -> "Relation":
+        """Sequential composition ``self ; other``."""
+        by_first: Dict[Hashable, Set[Hashable]] = defaultdict(set)
+        for a, b in other._pairs:
+            by_first[a].add(b)
+        out: Set[Pair] = set()
+        for a, b in self._pairs:
+            for c in by_first.get(b, ()):
+                out.add((a, c))
+        return Relation(out)
+
+    def inverse(self) -> "Relation":
+        return Relation((b, a) for a, b in self._pairs)
+
+    def transitive_closure(self) -> "Relation":
+        """Irreflexive transitive closure (Herd's ``+``)."""
+        succ: Dict[Hashable, Set[Hashable]] = defaultdict(set)
+        for a, b in self._pairs:
+            succ[a].add(b)
+        closure: Set[Pair] = set()
+        for start in list(succ):
+            seen: Set[Hashable] = set()
+            frontier = list(succ[start])
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(succ.get(node, ()))
+            closure.update((start, node) for node in seen)
+        return Relation(closure)
+
+    def reflexive_closure_over(self, domain: Iterable[Hashable]) -> "Relation":
+        """``self`` plus the identity over *domain* (Herd's ``?`` needs a carrier)."""
+        return Relation(set(self._pairs) | {(x, x) for x in domain})
+
+    def is_acyclic(self) -> bool:
+        closure = self.transitive_closure()
+        return not any(a == b for a, b in closure)
+
+    def restrict(self, first: AbstractSet, second: AbstractSet) -> "Relation":
+        """Restriction ``self & (first * second)``."""
+        return Relation(
+            (a, b) for a, b in self._pairs if a in first and b in second
+        )
+
+    def domain(self) -> FrozenSet[Hashable]:
+        return frozenset(a for a, _ in self._pairs)
+
+    def codomain(self) -> FrozenSet[Hashable]:
+        return frozenset(b for _, b in self._pairs)
+
+    def elements(self) -> FrozenSet[Hashable]:
+        return self.domain() | self.codomain()
+
+    def successors(self, node: Hashable) -> FrozenSet[Hashable]:
+        return frozenset(b for a, b in self._pairs if a == node)
+
+    def filter(self, predicate) -> "Relation":
+        """Keep only pairs for which ``predicate(a, b)`` holds."""
+        return Relation((a, b) for a, b in self._pairs if predicate(a, b))
+
+
+def product(first: AbstractSet, second: AbstractSet) -> Relation:
+    """Herd's ``S1 * S2`` cartesian-product relation."""
+    return Relation((a, b) for a in first for b in second)
+
+
+def at_least_one(subset: AbstractSet, universe: AbstractSet) -> Relation:
+    """Herd's ``at-least-one S = S*_ | _*S``: pairs touching *subset*."""
+    pairs = set()
+    for a in universe:
+        for b in universe:
+            if a in subset or b in subset:
+                pairs.add((a, b))
+    return Relation(pairs)
+
+
+def identity(domain: Iterable[Hashable]) -> Relation:
+    return Relation((x, x) for x in domain)
+
+
+def union_all(relations: Iterable[Relation]) -> Relation:
+    pairs: Set[Pair] = set()
+    for rel in relations:
+        pairs.update(rel.pairs)
+    return Relation(pairs)

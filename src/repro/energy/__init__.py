@@ -1,0 +1,15 @@
+"""Energy accounting (GPUWattch/McPAT substitute)."""
+
+from repro.energy.model import (
+    COMPONENTS,
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    normalized_breakdown,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyModel",
+    "normalized_breakdown",
+]

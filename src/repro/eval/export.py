@@ -1,0 +1,84 @@
+"""CSV export of figure data, for plotting outside the library.
+
+Each figure's series becomes one CSV with an explicit header; the files
+load directly into pandas/gnuplot/spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Dict, Mapping, Sequence
+
+from repro.energy.model import COMPONENTS
+from repro.eval.harness import CONFIG_ORDER, SweepResult
+
+
+def time_csv(sweep: SweepResult) -> str:
+    """Figure 3a/4a: normalized execution time, one row per workload."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["workload", *CONFIG_ORDER])
+    for wl in sweep.workloads():
+        norm = sweep.normalized_time(wl)
+        writer.writerow([wl] + [f"{norm[c]:.4f}" for c in CONFIG_ORDER])
+    return out.getvalue()
+
+
+def energy_csv(sweep: SweepResult) -> str:
+    """Figure 3b/4b: normalized energy per component (stacked bars)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["workload", "config", *COMPONENTS, "total"])
+    for wl in sweep.workloads():
+        energy = sweep.normalized_energy(wl)
+        for cfg in CONFIG_ORDER:
+            parts = energy[cfg]
+            writer.writerow(
+                [wl, cfg]
+                + [f"{parts[comp]:.4f}" for comp in COMPONENTS]
+                + [f"{sum(parts.values()):.4f}"]
+            )
+    return out.getvalue()
+
+
+def speedup_csv(speedups: Mapping[str, float]) -> str:
+    """Figure 1: relaxed-over-SC speedups."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["workload", "speedup"])
+    for name, value in speedups.items():
+        writer.writerow([name, f"{value:.4f}"])
+    return out.getvalue()
+
+
+def series_csv(series: Mapping[str, Sequence], x_name: str) -> str:
+    """Sensitivity sweeps: config -> [(x, cycles), ...]."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["config", x_name, "cycles"])
+    for cfg, values in sorted(series.items()):
+        for x, cycles in values:
+            writer.writerow([cfg, x, f"{cycles:.1f}"])
+    return out.getvalue()
+
+
+def export_all(out_dir: str = "results/csv", scale: float = 1.0) -> Dict[str, str]:
+    """Run the Figure 1/3/4 sweeps and write their CSVs."""
+    from repro.eval.harness import run_figure1, run_figure3, run_figure4
+
+    artifacts: Dict[str, str] = {}
+    sweep3 = run_figure3(scale)
+    artifacts["figure3a_time.csv"] = time_csv(sweep3)
+    artifacts["figure3b_energy.csv"] = energy_csv(sweep3)
+    sweep4 = run_figure4(scale)
+    artifacts["figure4a_time.csv"] = time_csv(sweep4)
+    artifacts["figure4b_energy.csv"] = energy_csv(sweep4)
+    artifacts["figure1_speedups.csv"] = speedup_csv(run_figure1(scale))
+
+    os.makedirs(out_dir, exist_ok=True)
+    for name, text in artifacts.items():
+        with open(os.path.join(out_dir, name), "w") as handle:
+            handle.write(text)
+    return artifacts

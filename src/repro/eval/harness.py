@@ -1,0 +1,144 @@
+"""Evaluation harness: run workloads over the six configurations and
+collect the execution-time / energy observations behind Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.sim.config import INTEGRATED, SystemConfig
+from repro.sim.system import CONFIG_ABBREV, RunResult, all_configurations, run_workload
+from repro.workloads.base import Workload, all_workloads, get
+
+#: Figure 3/4 configuration order.
+CONFIG_ORDER = ("GD0", "GD1", "GDR", "DD0", "DD1", "DDR")
+
+
+@dataclass
+class Observation:
+    """One (workload, configuration) measurement."""
+
+    workload: str
+    config: str  # GD0..DDR
+    cycles: float
+    energy_nj: Dict[str, float]  # per component
+
+    @property
+    def total_energy(self) -> float:
+        return sum(self.energy_nj.values())
+
+
+@dataclass
+class SweepResult:
+    """All configurations for a set of workloads, normalized to GD0."""
+
+    observations: Dict[Tuple[str, str], Observation] = field(default_factory=dict)
+
+    def add(self, obs: Observation) -> None:
+        self.observations[(obs.workload, obs.config)] = obs
+
+    def workloads(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for wl, _ in self.observations:
+            if wl not in names:
+                names.append(wl)
+        return tuple(names)
+
+    def get(self, workload: str, config: str) -> Observation:
+        return self.observations[(workload, config)]
+
+    # -- normalized views (the Figure 3/4 bar heights) ---------------------------
+    def normalized_time(self, workload: str) -> Dict[str, float]:
+        base = self.get(workload, "GD0").cycles
+        return {
+            cfg: self.get(workload, cfg).cycles / base for cfg in CONFIG_ORDER
+        }
+
+    def normalized_energy(self, workload: str) -> Dict[str, Dict[str, float]]:
+        base = self.get(workload, "GD0").total_energy
+        out: Dict[str, Dict[str, float]] = {}
+        for cfg in CONFIG_ORDER:
+            obs = self.get(workload, cfg)
+            out[cfg] = {k: v / base for k, v in obs.energy_nj.items()}
+        return out
+
+    def average_reduction(self, config: str, baseline: str = "GD0") -> float:
+        """Mean execution-time reduction of *config* vs *baseline* across
+        workloads (the Section 6 headline averages)."""
+        reductions = []
+        for wl in self.workloads():
+            b = self.get(wl, baseline).cycles
+            c = self.get(wl, config).cycles
+            reductions.append(1.0 - c / b)
+        return sum(reductions) / len(reductions) if reductions else 0.0
+
+    def average_energy_reduction(self, config: str, baseline: str = "GD0") -> float:
+        reductions = []
+        for wl in self.workloads():
+            b = self.get(wl, baseline).total_energy
+            c = self.get(wl, config).total_energy
+            reductions.append(1.0 - c / b)
+        return sum(reductions) / len(reductions) if reductions else 0.0
+
+
+def run_sweep(
+    workload_names: Sequence[str],
+    config: SystemConfig = INTEGRATED,
+    scale: float = 1.0,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> SweepResult:
+    """Run every named workload on all six configurations."""
+    sweep = SweepResult()
+    for name in workload_names:
+        workload = get(name)
+        kernel = workload.build(config, scale)
+        for protocol, model in all_configurations():
+            result = run_workload(kernel, protocol, model, config)
+            sweep.add(
+                Observation(
+                    workload=name,
+                    config=CONFIG_ABBREV[(protocol, model)],
+                    cycles=result.cycles,
+                    energy_nj=energy_model.breakdown(result.stats),
+                )
+            )
+    return sweep
+
+
+def micro_names() -> Tuple[str, ...]:
+    return ("H", "HG", "HG-NO", "Flags", "SC", "RC", "SEQ")
+
+
+def bench_names() -> Tuple[str, ...]:
+    return ("UTS", "BC-1", "BC-2", "BC-3", "BC-4", "PR-1", "PR-2", "PR-3", "PR-4")
+
+
+def run_figure3(scale: float = 1.0) -> SweepResult:
+    """Figure 3: all microbenchmarks, 6 configurations."""
+    return run_sweep(micro_names(), scale=scale)
+
+
+def run_figure4(scale: float = 1.0) -> SweepResult:
+    """Figure 4: UTS + BC(4 graphs) + PR(4 graphs), 6 configurations."""
+    return run_sweep(bench_names(), scale=scale)
+
+
+def run_figure1(scale: float = 1.0) -> Dict[str, float]:
+    """Figure 1: relaxed vs SC atomics speedup on a discrete GPU.
+
+    For each atomic-heavy workload, the speedup of GPU coherence with
+    DRFrlx (relaxed atomics honored) over GPU coherence with DRF0 (every
+    atomic treated as an SC atomic), on the discrete-GPU configuration.
+    """
+    from repro.sim.config import DISCRETE
+
+    speedups: Dict[str, float] = {}
+    for name in ("HG", "Flags", "SC", "RC", "SEQ", "UTS", "BC-4", "PR-1", "PR-4"):
+        workload = get(name)
+        kernel = workload.build(DISCRETE, scale)
+        sc_atomics = run_workload(kernel, "gpu", "drf0", DISCRETE)
+        relaxed = run_workload(kernel, "gpu", "drfrlx", DISCRETE)
+        speedups[name] = sc_atomics.cycles / relaxed.cycles
+    return speedups

@@ -1,0 +1,85 @@
+"""Top-level reporting: regenerate every table and figure in one call.
+
+``python -m repro.eval.reporting`` writes all artifacts to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict
+
+from repro.eval import figures, tables
+from repro.eval.harness import CONFIG_ORDER, SweepResult
+
+
+def headline_averages(sweep: SweepResult) -> str:
+    """The Section 6 summary numbers for a sweep."""
+    lines = ["Average execution-time / energy reduction vs GD0:"]
+    for cfg in CONFIG_ORDER[1:]:
+        t = sweep.average_reduction(cfg) * 100
+        e = sweep.average_energy_reduction(cfg) * 100
+        lines.append(f"  {cfg}: time -{t:5.1f}%   energy -{e:5.1f}%")
+    # DeNovo vs GPU at matched consistency model.
+    for gpu_cfg, dn_cfg, model in (
+        ("GD0", "DD0", "DRF0"),
+        ("GD1", "DD1", "DRF1"),
+        ("GDR", "DDR", "DRFrlx"),
+    ):
+        t = sweep.average_reduction(dn_cfg, baseline=gpu_cfg) * 100
+        e = sweep.average_energy_reduction(dn_cfg, baseline=gpu_cfg) * 100
+        lines.append(
+            f"  DeNovo vs GPU under {model}: time -{t:5.1f}%   energy -{e:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def generate_all(out_dir: str = "results", scale: float = 1.0) -> Dict[str, str]:
+    """Regenerate every table and figure; returns artifact name -> text."""
+    artifacts: Dict[str, str] = {}
+    artifacts["table1.txt"] = tables.table1()
+    artifacts["table2.txt"] = tables.table2()
+    artifacts["table3.txt"] = tables.table3()
+    artifacts["table4.txt"] = tables.table4()
+    artifacts["litmus_table.txt"] = tables.litmus_table()
+    from repro.core.cat_export import listing7_cat
+
+    artifacts["listing7.cat"] = listing7_cat()
+    artifacts["figure1.txt"] = figures.figure1(scale)
+    artifacts["figure2.txt"] = figures.figure2()
+    sweep3, text3 = figures.figure3(scale)
+    artifacts["figure3.txt"] = text3 + "\n\n" + headline_averages(sweep3)
+    sweep4, text4 = figures.figure4(scale)
+    artifacts["figure4.txt"] = text4 + "\n\n" + headline_averages(sweep4)
+
+    os.makedirs(out_dir, exist_ok=True)
+    for name, text in artifacts.items():
+        with open(os.path.join(out_dir, name), "w") as handle:
+            handle.write(text + "\n")
+
+    # Plot-ready CSVs alongside the ASCII artifacts.
+    from repro.eval.export import energy_csv, time_csv
+
+    csv_dir = os.path.join(out_dir, "csv")
+    os.makedirs(csv_dir, exist_ok=True)
+    for stem, sweep in (("figure3", sweep3), ("figure4", sweep4)):
+        with open(os.path.join(csv_dir, f"{stem}a_time.csv"), "w") as handle:
+            handle.write(time_csv(sweep))
+        with open(os.path.join(csv_dir, f"{stem}b_energy.csv"), "w") as handle:
+            handle.write(energy_csv(sweep))
+    return artifacts
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    scale = float(args[0]) if args else 1.0
+    artifacts = generate_all(scale=scale)
+    for name in sorted(artifacts):
+        print(f"== {name} " + "=" * max(0, 60 - len(name)))
+        print(artifacts[name])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

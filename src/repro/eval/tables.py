@@ -1,0 +1,81 @@
+"""Regenerate the paper's tables as structured rows + ASCII rendering."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.model import MODELS, check
+from repro.core.system_model import run_system_model
+from repro.litmus.library import all_tests, use_cases
+from repro.sim.config import INTEGRATED, SystemConfig, table2_rows
+from repro.sim.consistency import table4_rows
+from repro.workloads.base import all_workloads
+
+
+def render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain ASCII table."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    def fmt(row):
+        return " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def table1() -> str:
+    """Table 1: GPU relaxed atomic use cases."""
+    rows = [(t.use_case, t.name, t.description.split(".")[0]) for t in use_cases()]
+    return render(("Relaxed Atomic Category", "Litmus", "Summary"), rows)
+
+
+def table2(config: SystemConfig = INTEGRATED) -> str:
+    """Table 2: simulated heterogeneous system parameters."""
+    return render(("Parameter", "Value"), table2_rows(config))
+
+
+def table3() -> str:
+    """Table 3: benchmarks, inputs, and relaxed atomics used."""
+    rows = [
+        (w.name, w.kind, w.input_desc, ", ".join(w.atomic_types))
+        for w in all_workloads()
+        if w.kind in ("microbenchmark", "benchmark")
+    ]
+    return render(("Benchmark", "Kind", "Input", "Atomic Types"), rows)
+
+
+def table4() -> str:
+    """Table 4: benefits of DRF0, DRF1, and DRFrlx."""
+    mark = lambda b: "yes" if b else "no"
+    rows = [
+        (benefit, mark(d0), mark(d1), mark(dr))
+        for benefit, d0, d1, dr in table4_rows()
+    ]
+    return render(
+        ("Benefit", "DRF0", "DRF1 (if unpaired)", "DRFrlx (if relaxed)"), rows
+    )
+
+
+def litmus_table(max_tests: int = None) -> str:
+    """Section 3.8's validation: per-litmus verdicts under all three
+    models plus whether the system-centric machine can go non-SC."""
+    rows: List[Tuple[str, ...]] = []
+    tests = all_tests()[:max_tests] if max_tests else all_tests()
+    for test in tests:
+        verdicts = []
+        for model in MODELS:
+            result = check(test.program, model)
+            kinds = ",".join(result.race_kinds) if not result.legal else ""
+            verdicts.append(("legal" if result.legal else f"ILLEGAL({kinds})"))
+        machine = run_system_model(test.program, "drfrlx")
+        rows.append(
+            (
+                test.name,
+                test.use_case or "-",
+                *verdicts,
+                "non-SC" if not machine.only_sc else "SC-only",
+            )
+        )
+    return render(
+        ("Litmus", "Use case", "DRF0", "DRF1", "DRFrlx", "DRFrlx machine"), rows
+    )

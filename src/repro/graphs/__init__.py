@@ -1,0 +1,21 @@
+"""Synthetic graph inputs (Matrix Market substitutes)."""
+
+from repro.graphs.synth import (
+    Graph,
+    bc_inputs,
+    circuit_graph,
+    mesh_graph,
+    power_law_graph,
+    pr_inputs,
+    road_graph,
+)
+
+__all__ = [
+    "Graph",
+    "bc_inputs",
+    "circuit_graph",
+    "mesh_graph",
+    "power_law_graph",
+    "pr_inputs",
+    "road_graph",
+]

@@ -1,0 +1,175 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates BC and PageRank on University of Florida Sparse
+Matrix Collection graphs (Table 3): rome99 (road network), nasa1824
+(structural mesh), ex33 (FEM), c-22 / c-36 / c-37 / c-40 (circuit and
+optimization matrices), ex3.  Those files are not redistributable here,
+so we generate graphs from the same structural families — the properties
+BC/PR behaviour depends on (degree distribution, diameter, sharing
+pattern of high-degree vertices) — with fixed seeds:
+
+- :func:`road_graph` — near-planar, degree ~2-4, long diameter;
+- :func:`mesh_graph` — regular stencil connectivity, moderate degree;
+- :func:`power_law_graph` — preferential attachment, hub-dominated
+  (circuit/optimization-matrix-like contention on hub vertices);
+- :func:`circuit_graph` — sparse random with a few very-high-fanout nets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class Graph:
+    """Compressed-sparse-row directed graph."""
+
+    name: str
+    num_vertices: int
+    offsets: Tuple[int, ...]  # len = num_vertices + 1
+    neighbors: Tuple[int, ...]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.neighbors)
+
+    def out_degree(self, v: int) -> int:
+        return self.offsets[v + 1] - self.offsets[v]
+
+    def adj(self, v: int) -> Sequence[int]:
+        return self.neighbors[self.offsets[v]: self.offsets[v + 1]]
+
+    def validate(self) -> None:
+        if len(self.offsets) != self.num_vertices + 1:
+            raise ValueError("bad offsets length")
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.neighbors):
+            raise ValueError("offsets do not bracket the edge array")
+        if any(a > b for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError("offsets not monotone")
+        if any(not 0 <= n < self.num_vertices for n in self.neighbors):
+            raise ValueError("neighbor out of range")
+
+
+def _from_adjacency(name: str, adjacency: List[List[int]]) -> Graph:
+    offsets = [0]
+    neighbors: List[int] = []
+    for adj in adjacency:
+        # Deduplicate, drop self-loops, keep deterministic order.
+        seen = sorted(set(adj))
+        neighbors.extend(seen)
+        offsets.append(len(neighbors))
+    g = Graph(name, len(adjacency), tuple(offsets), tuple(neighbors))
+    g.validate()
+    return g
+
+
+def road_graph(n: int, seed: int = 1) -> Graph:
+    """A perturbed grid: long diameter, degree mostly 2-4 (rome99-like)."""
+    rnd = random.Random(f"road:{n}:{seed}")
+    side = max(2, int(n ** 0.5))
+    total = side * side
+    adjacency: List[List[int]] = [[] for _ in range(total)]
+    for y in range(side):
+        for x in range(side):
+            v = y * side + x
+            if x + 1 < side and rnd.random() < 0.92:
+                adjacency[v].append(v + 1)
+                adjacency[v + 1].append(v)
+            if y + 1 < side and rnd.random() < 0.92:
+                adjacency[v].append(v + side)
+                adjacency[v + side].append(v)
+    # A few shortcut roads.
+    for _ in range(total // 20):
+        a = rnd.randrange(total)
+        b = rnd.randrange(total)
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    return _from_adjacency(f"road{total}", adjacency)
+
+
+def mesh_graph(n: int, seed: int = 1) -> Graph:
+    """A 2-D FEM-style stencil mesh: regular degree ~8 (nasa1824/ex33-like)."""
+    side = max(3, int(n ** 0.5))
+    total = side * side
+    adjacency: List[List[int]] = [[] for _ in range(total)]
+    for y in range(side):
+        for x in range(side):
+            v = y * side + x
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dx == 0 and dy == 0:
+                        continue
+                    nx, ny = x + dx, y + dy
+                    if 0 <= nx < side and 0 <= ny < side:
+                        adjacency[v].append(ny * side + nx)
+    return _from_adjacency(f"mesh{total}", adjacency)
+
+
+def power_law_graph(n: int, m: int = 3, seed: int = 1) -> Graph:
+    """Preferential attachment (Barabási-Albert): hub-dominated degrees."""
+    rnd = random.Random(f"plaw:{n}:{m}:{seed}")
+    n = max(n, m + 2)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    targets = list(range(m + 1))
+    repeated: List[int] = []
+    for src in range(m + 1):
+        for dst in range(m + 1):
+            if src != dst:
+                adjacency[src].append(dst)
+        repeated.extend([src] * m)
+    for v in range(m + 1, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(repeated[rnd.randrange(len(repeated))])
+        for u in chosen:
+            adjacency[v].append(u)
+            adjacency[u].append(v)
+            repeated.extend((v, u))
+    return _from_adjacency(f"plaw{n}", adjacency)
+
+
+def circuit_graph(n: int, fanout_nets: int = 6, seed: int = 1) -> Graph:
+    """Sparse random connectivity plus a few very-high-fanout nets
+    (clock/reset-like), the contention signature of circuit matrices."""
+    rnd = random.Random(f"circuit:{n}:{seed}")
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        for _ in range(rnd.randint(1, 3)):
+            u = rnd.randrange(n)
+            if u != v:
+                adjacency[v].append(u)
+                adjacency[u].append(v)
+    for h in range(fanout_nets):
+        hub = rnd.randrange(n)
+        for _ in range(n // 10):
+            u = rnd.randrange(n)
+            if u != hub:
+                adjacency[hub].append(u)
+                adjacency[u].append(hub)
+    return _from_adjacency(f"circuit{n}", adjacency)
+
+
+#: Graph inputs standing in for Table 3's Matrix Market graphs.
+#: BC: rome99 (1), nasa1824 (2), ex33 (3), c-22 (4);
+#: PR: c-37 (1), c-36 (2), ex3 (3), c-40 (4).
+def bc_inputs(scale: float = 1.0) -> Dict[int, Graph]:
+    n = max(64, int(400 * scale))
+    return {
+        1: road_graph(n),
+        2: mesh_graph(n),
+        3: mesh_graph(max(49, int(n * 0.8)), seed=3),
+        4: circuit_graph(n),
+    }
+
+
+def pr_inputs(scale: float = 1.0) -> Dict[int, Graph]:
+    n = max(64, int(400 * scale))
+    return {
+        1: circuit_graph(n, fanout_nets=10, seed=2),
+        2: circuit_graph(n, fanout_nets=4, seed=5),
+        3: mesh_graph(n, seed=7),
+        4: power_law_graph(n, m=4, seed=9),
+    }

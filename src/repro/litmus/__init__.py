@@ -1,0 +1,55 @@
+"""Litmus-test substrate: instruction AST, programs, and the test library."""
+
+from repro.litmus.ast import (
+    Assign,
+    BinOp,
+    Const,
+    Fence,
+    If,
+    Load,
+    Loc,
+    LocSelect,
+    Not,
+    Reg,
+    Rmw,
+    Store,
+    While,
+    assign,
+    load,
+    rmw,
+    store,
+)
+from repro.litmus.dsl import DslError, parse
+from repro.litmus.library import LitmusTest, all_tests, get, table1_rows, use_cases
+from repro.litmus.program import Program, Thread
+from repro.litmus.render import render
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Const",
+    "DslError",
+    "Fence",
+    "If",
+    "LitmusTest",
+    "Load",
+    "Loc",
+    "LocSelect",
+    "Not",
+    "Program",
+    "Reg",
+    "Rmw",
+    "Store",
+    "Thread",
+    "While",
+    "all_tests",
+    "assign",
+    "get",
+    "load",
+    "parse",
+    "render",
+    "rmw",
+    "store",
+    "table1_rows",
+    "use_cases",
+]

@@ -1,0 +1,361 @@
+"""Instruction AST for litmus-test programs.
+
+A litmus program is a set of threads, each a list of structured
+instructions over named shared locations and per-thread registers.  The
+instruction set covers what the paper's examples (Listings 1-6) and the
+classic litmus shapes need:
+
+- register computation (:class:`Assign`) with a small expression language,
+- labelled loads, stores, and read-modify-writes (fetch-op, exchange,
+  compare-and-swap),
+- structured control flow (:class:`If`, :class:`While` with an unrolling
+  bound) so that control dependencies are explicit,
+- address selection through :class:`LocSelect` so address dependencies can
+  be expressed.
+
+Expressions evaluate over per-thread registers only; every shared-memory
+access is an explicit instruction.  This keeps the interleaving granularity
+of the SC enumerator exactly one memory event per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.labels import AtomicKind
+
+
+class LitmusError(Exception):
+    """Raised for malformed litmus programs."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Value:
+    """A runtime value with the set of load events that tainted it.
+
+    ``taint`` carries dynamic event ids of loads whose results flowed into
+    this value; it is how address/data/control dependencies are computed.
+    """
+
+    val: int
+    taint: FrozenSet[int] = frozenset()
+
+    def merged_with(self, other: "Value", val: int) -> "Value":
+        return Value(val, self.taint | other.taint)
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+    def evaluate(self, regs: Mapping[str, Value]) -> Value:
+        return Value(self.value)
+
+    def registers(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    def evaluate(self, regs: Mapping[str, Value]) -> Value:
+        if self.name not in regs:
+            raise LitmusError(f"read of unset register {self.name!r}")
+        return regs[self.name]
+
+    def registers(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "%": lambda a, b: a % b if b else 0,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise LitmusError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, regs: Mapping[str, Value]) -> Value:
+        lhs = self.left.evaluate(regs)
+        rhs = self.right.evaluate(regs)
+        return lhs.merged_with(rhs, _BINOPS[self.op](lhs.val, rhs.val))
+
+    def registers(self) -> FrozenSet[str]:
+        return self.left.registers() | self.right.registers()
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+    def evaluate(self, regs: Mapping[str, Value]) -> Value:
+        inner = self.operand.evaluate(regs)
+        return Value(int(not inner.val), inner.taint)
+
+    def registers(self) -> FrozenSet[str]:
+        return self.operand.registers()
+
+
+Expr = Union[Const, Reg, BinOp, Not]
+
+
+def as_expr(value: Union[int, str, Expr]) -> Expr:
+    """Coerce ints to :class:`Const` and strings to :class:`Reg`."""
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Reg(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Locations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Loc:
+    """A fixed shared-memory location, by name."""
+
+    name: str
+
+    def resolve(self, regs: Mapping[str, Value]) -> Tuple[str, FrozenSet[int]]:
+        return self.name, frozenset()
+
+    def possible_names(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+
+@dataclass(frozen=True)
+class LocSelect:
+    """A location chosen among *names* by an index expression.
+
+    Expresses address dependencies: ``LocSelect(("a", "b"), Reg("r1"))``
+    accesses ``a`` when ``r1 == 0`` and ``b`` when ``r1 == 1``.
+    """
+
+    names: Tuple[str, ...]
+    index: Expr
+
+    def resolve(self, regs: Mapping[str, Value]) -> Tuple[str, FrozenSet[int]]:
+        idx = self.index.evaluate(regs)
+        if not 0 <= idx.val < len(self.names):
+            raise LitmusError(
+                f"location index {idx.val} out of range for {self.names}"
+            )
+        return self.names[idx.val], idx.taint
+
+    def possible_names(self) -> Tuple[str, ...]:
+        return self.names
+
+
+Location = Union[Loc, LocSelect]
+
+
+def as_location(value: Union[str, Location]) -> Location:
+    if isinstance(value, str):
+        return Loc(value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Load:
+    """``dst = loc.load(kind)``.
+
+    When ``havoc`` is non-empty the load still happens as a memory event,
+    but the value placed in ``dst`` is chosen nondeterministically from
+    ``havoc`` — this is how the quantum transformation (Section 3.4.2)
+    models ``ri = random()`` while preserving the access for race analysis.
+    """
+
+    dst: str
+    loc: Location
+    kind: AtomicKind = AtomicKind.DATA
+    havoc: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Store:
+    """``loc.store(value, kind)``.
+
+    When ``havoc`` is non-empty the stored value is chosen
+    nondeterministically from ``havoc`` (quantum store of ``random()``).
+    """
+
+    loc: Location
+    value: Expr
+    kind: AtomicKind = AtomicKind.DATA
+    havoc: Tuple[int, ...] = ()
+
+
+#: RMW operations: ``old = loc.fetch_<op>(operand)``.  ``exch`` swaps in the
+#: operand; ``cas`` stores ``operand2`` when the old value equals ``operand``.
+RMW_OPS = ("add", "sub", "and", "or", "xor", "exch", "min", "max", "cas")
+
+
+@dataclass(frozen=True)
+class Rmw:
+    """An atomic read-modify-write returning the old value in ``dst``."""
+
+    dst: str
+    loc: Location
+    op: str
+    operand: Expr
+    operand2: Optional[Expr] = None  # CAS desired value
+    kind: AtomicKind = AtomicKind.PAIRED
+    havoc: Tuple[int, ...] = ()  # quantum RMW: random stored + returned value
+
+    def __post_init__(self) -> None:
+        if self.op not in RMW_OPS:
+            raise LitmusError(f"unknown RMW op {self.op!r}")
+        if self.op == "cas" and self.operand2 is None:
+            raise LitmusError("cas needs operand2 (desired value)")
+
+    def apply(self, old: int, operand: int, operand2: Optional[int]) -> int:
+        """New memory value produced by this RMW given the old value."""
+        if self.op == "add":
+            return old + operand
+        if self.op == "sub":
+            return old - operand
+        if self.op == "and":
+            return old & operand
+        if self.op == "or":
+            return old | operand
+        if self.op == "xor":
+            return old ^ operand
+        if self.op == "exch":
+            return operand
+        if self.op == "min":
+            return min(old, operand)
+        if self.op == "max":
+            return max(old, operand)
+        if self.op == "cas":
+            assert operand2 is not None
+            return operand2 if old == operand else old
+        raise AssertionError(self.op)
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Register computation ``dst = expr`` (no memory event)."""
+
+    dst: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A full fence; a scheduling no-op under SC, ordering under the
+    system-centric machine."""
+
+    kind: AtomicKind = AtomicKind.PAIRED
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: Tuple["Instr", ...]
+    orelse: Tuple["Instr", ...] = ()
+
+    def __init__(self, cond, then, orelse=()):
+        object.__setattr__(self, "cond", as_expr(cond))
+        object.__setattr__(self, "then", tuple(then))
+        object.__setattr__(self, "orelse", tuple(orelse))
+
+
+@dataclass(frozen=True)
+class While:
+    """``while (cond) body`` with an unrolling bound.
+
+    Executions that exceed ``max_iters`` iterations are discarded by the
+    enumerator (reported as truncated), which is how the paper's tools
+    bound loops in litmus tests as well.
+    """
+
+    cond: Expr
+    body: Tuple["Instr", ...]
+    max_iters: int = 4
+
+    def __init__(self, cond, body, max_iters=4):
+        object.__setattr__(self, "cond", as_expr(cond))
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "max_iters", int(max_iters))
+
+
+Instr = Union[Load, Store, Rmw, Assign, Fence, If, While]
+
+
+# -- convenience constructors (the DSL most tests use) --------------------------
+
+def load(dst: str, loc: Union[str, Location], kind: AtomicKind = AtomicKind.DATA) -> Load:
+    return Load(dst, as_location(loc), kind)
+
+
+def store(
+    loc: Union[str, Location],
+    value: Union[int, str, Expr],
+    kind: AtomicKind = AtomicKind.DATA,
+) -> Store:
+    return Store(as_location(loc), as_expr(value), kind)
+
+
+def rmw(
+    dst: str,
+    loc: Union[str, Location],
+    op: str,
+    operand: Union[int, str, Expr],
+    kind: AtomicKind = AtomicKind.PAIRED,
+    operand2: Union[int, str, Expr, None] = None,
+) -> Rmw:
+    return Rmw(
+        dst,
+        as_location(loc),
+        op,
+        as_expr(operand),
+        None if operand2 is None else as_expr(operand2),
+        kind,
+    )
+
+
+def assign(dst: str, expr: Union[int, str, Expr]) -> Assign:
+    return Assign(dst, as_expr(expr))
+
+
+def memory_instructions(body: Sequence[Instr]):
+    """Yield every (possibly nested) memory instruction in *body*."""
+    for instr in body:
+        if isinstance(instr, (Load, Store, Rmw)):
+            yield instr
+        elif isinstance(instr, If):
+            yield from memory_instructions(instr.then)
+            yield from memory_instructions(instr.orelse)
+        elif isinstance(instr, While):
+            yield from memory_instructions(instr.body)

@@ -1,0 +1,72 @@
+"""A corpus of litmus tests written in the text DSL.
+
+Files live in ``litmus/corpus/*.litmus`` and carry their expected
+verdicts in an ``# expect:`` header::
+
+    # expect: drf0=legal drf1=legal drfrlx=illegal(non_ordering)
+
+The corpus doubles as DSL documentation and as an end-to-end regression:
+``load_corpus()`` parses every file; the test suite checks each
+program's verdicts against its header.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.litmus.dsl import parse
+from repro.litmus.program import Program
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_EXPECT = re.compile(
+    r"(?P<model>drf0|drf1|drfrlx)\s*=\s*(?P<verdict>legal|illegal)"
+    r"(?:\((?P<kinds>[a-z_,]+)\))?"
+)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    name: str
+    path: str
+    program: Program
+    #: model -> (legal, expected race kinds)
+    expectations: Dict[str, Tuple[bool, Tuple[str, ...]]]
+
+
+def _parse_expectations(text: str) -> Dict[str, Tuple[bool, Tuple[str, ...]]]:
+    out: Dict[str, Tuple[bool, Tuple[str, ...]]] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("# expect:"):
+            continue
+        for match in _EXPECT.finditer(stripped):
+            kinds = tuple(
+                k for k in (match.group("kinds") or "").split(",") if k
+            )
+            out[match.group("model")] = (match.group("verdict") == "legal", kinds)
+    return out
+
+
+def load_corpus(directory: str = CORPUS_DIR) -> Tuple[CorpusEntry, ...]:
+    """Parse every ``*.litmus`` file in *directory*."""
+    entries = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".litmus"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            text = handle.read()
+        program = parse(text)
+        entries.append(
+            CorpusEntry(
+                name=program.name,
+                path=path,
+                program=program,
+                expectations=_parse_expectations(text),
+            )
+        )
+    return tuple(entries)

@@ -1,0 +1,291 @@
+"""A compact text DSL for litmus tests.
+
+Example::
+
+    name: mp_paired
+    init: data=0 flag=0
+    thread:
+      st data 42 data
+      st flag 1 paired
+    thread:
+      r0 = ld flag paired
+      if r0 {
+        r1 = ld data
+      }
+
+Statement forms (one per line; ``#`` starts a comment):
+
+- ``st <loc> <value> [kind]`` — store (value: int, register, or ``a+b``)
+- ``<reg> = ld <loc> [kind]`` — load
+- ``<reg> = rmw <loc> <op> <operand> [kind]`` — fetch-op RMW
+- ``<reg> = cas <loc> <expected> <desired> [kind]`` — compare-and-swap
+- ``<reg> = <expr>`` — register computation
+- ``if <expr> {`` ... ``} else {`` ... ``}``
+- ``while <expr> [max=N] {`` ... ``}``
+- ``fence``
+
+Kinds: ``data`` (default for ld/st), ``paired``/``sc``, ``unpaired``,
+``commutative``/``comm``, ``non_ordering``/``no``, ``quantum``,
+``speculative``/``spec``.  Expressions are a single operand, ``!x``, or
+``a <op> b`` with the operators of :mod:`repro.litmus.ast`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Fence,
+    If,
+    Instr,
+    LitmusError,
+    Load,
+    Loc,
+    Not,
+    Reg,
+    Rmw,
+    Store,
+    While,
+)
+from repro.litmus.program import Program
+
+_KINDS = {
+    "data": AtomicKind.DATA,
+    "paired": AtomicKind.PAIRED,
+    "sc": AtomicKind.PAIRED,
+    "unpaired": AtomicKind.UNPAIRED,
+    "commutative": AtomicKind.COMMUTATIVE,
+    "comm": AtomicKind.COMMUTATIVE,
+    "non_ordering": AtomicKind.NON_ORDERING,
+    "no": AtomicKind.NON_ORDERING,
+    "quantum": AtomicKind.QUANTUM,
+    "speculative": AtomicKind.SPECULATIVE,
+    "spec": AtomicKind.SPECULATIVE,
+    "acquire": AtomicKind.ACQUIRE,
+    "acq": AtomicKind.ACQUIRE,
+    "release": AtomicKind.RELEASE,
+    "rel": AtomicKind.RELEASE,
+}
+
+_OPERATORS = ("==", "!=", "<=", ">=", "+", "-", "*", "&", "|", "^", "%", "<", ">")
+
+_INT = re.compile(r"^-?\d+$")
+_NAME = re.compile(r"^[A-Za-z_]\w*$")
+
+
+class DslError(LitmusError):
+    """Raised with a line number for malformed DSL input."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _operand(token: str, lineno: int) -> Expr:
+    if _INT.match(token):
+        return Const(int(token))
+    if _NAME.match(token):
+        return Reg(token)
+    raise DslError(lineno, f"bad operand {token!r}")
+
+
+def _expr(tokens: Sequence[str], lineno: int) -> Expr:
+    if not tokens:
+        raise DslError(lineno, "empty expression")
+    if tokens[0] == "!":
+        return Not(_expr(tokens[1:], lineno))
+    if len(tokens) == 1:
+        token = tokens[0]
+        if token.startswith("!"):
+            return Not(_operand(token[1:], lineno))
+        return _operand(token, lineno)
+    if len(tokens) == 3 and tokens[1] in _OPERATORS:
+        return BinOp(tokens[1], _operand(tokens[0], lineno), _operand(tokens[2], lineno))
+    raise DslError(lineno, f"cannot parse expression {' '.join(tokens)!r}")
+
+
+def _kind(token: Optional[str], lineno: int, default: AtomicKind) -> AtomicKind:
+    if token is None:
+        return default
+    try:
+        return _KINDS[token.lower()]
+    except KeyError:
+        raise DslError(lineno, f"unknown atomic kind {token!r}") from None
+
+
+def _tokenize(line: str) -> List[str]:
+    # Split operators out, keep names/ints together.
+    spaced = line
+    for op in ("==", "!=", "<=", ">="):
+        spaced = spaced.replace(op, f" {op} ")
+    for op in ("{", "}", "=", "+", "-", "*", "&", "|", "^", "%", "<", ">", "!"):
+        spaced = spaced.replace(op, f" {op} ")
+    # Re-join the two-char operators split by the single-char pass.
+    tokens = spaced.split()
+    merged: List[str] = []
+    i = 0
+    while i < len(tokens):
+        if i + 1 < len(tokens) and tokens[i] in ("=", "!", "<", ">") and tokens[i + 1] == "=":
+            merged.append(tokens[i] + "=")
+            i += 2
+        else:
+            merged.append(tokens[i])
+            i += 1
+    return merged
+
+
+class _Parser:
+    def __init__(self, lines: Sequence[Tuple[int, List[str]]]):
+        self.lines = list(lines)
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.lines)
+
+    def peek(self) -> Tuple[int, List[str]]:
+        return self.lines[self.pos]
+
+    def next(self) -> Tuple[int, List[str]]:
+        item = self.lines[self.pos]
+        self.pos += 1
+        return item
+
+    def parse_block(self, until: Tuple[str, ...]) -> Tuple[Tuple[Instr, ...], Optional[str]]:
+        """Parse statements until one of the *until* tokens appears alone."""
+        body: List[Instr] = []
+        while not self.eof():
+            lineno, tokens = self.peek()
+            if len(tokens) == 1 and tokens[0] in until:
+                self.next()
+                return tuple(body), tokens[0]
+            if tokens[:2] == ["}", "else"] and "else" in ("}",):
+                pass
+            body.append(self.parse_statement())
+        if until == ("<eof>",):
+            return tuple(body), None
+        raise DslError(self.lines[-1][0] if self.lines else 0, "unterminated block")
+
+    def parse_statement(self) -> Instr:
+        lineno, tokens = self.next()
+
+        if tokens[0] == "fence":
+            return Fence()
+
+        if tokens[0] == "st":
+            if len(tokens) < 3:
+                raise DslError(lineno, "st needs a location and a value")
+            loc = tokens[1]
+            kind_token = None
+            rest = tokens[2:]
+            if len(rest) >= 2 and rest[-1].lower() in _KINDS and len(rest) > 1:
+                kind_token, rest = rest[-1], rest[:-1]
+            return Store(Loc(loc), _expr(rest, lineno), _kind(kind_token, lineno, AtomicKind.DATA))
+
+        if tokens[0] == "if":
+            brace = tokens.index("{") if "{" in tokens else -1
+            if brace < 0:
+                raise DslError(lineno, "if needs '{' on the same line")
+            cond = _expr(tokens[1:brace], lineno)
+            then, closer = self.parse_block(("}", "}else{"))
+            orelse: Tuple[Instr, ...] = ()
+            if not self.eof():
+                nlineno, ntokens = self.peek()
+                if ntokens[:3] == ["else", "{"][:len(ntokens)] and ntokens[0] == "else":
+                    self.next()
+                    orelse, _ = self.parse_block(("}",))
+            return If(cond, then, orelse)
+
+        if tokens[0] == "while":
+            brace = tokens.index("{") if "{" in tokens else -1
+            if brace < 0:
+                raise DslError(lineno, "while needs '{' on the same line")
+            head = tokens[1:brace]
+            max_iters = 4
+            if len(head) >= 3 and head[-3] == "max" and head[-2] == "=":
+                max_iters = int(head[-1])
+                head = head[:-3]
+            cond = _expr(head, lineno)
+            body, _ = self.parse_block(("}",))
+            return While(cond, body, max_iters=max_iters)
+
+        # Register-target statements: "<reg> = ..."
+        if len(tokens) >= 3 and tokens[1] == "=":
+            dst = tokens[0]
+            if not _NAME.match(dst):
+                raise DslError(lineno, f"bad register name {dst!r}")
+            rhs = tokens[2:]
+            if rhs[0] == "ld":
+                if len(rhs) < 2:
+                    raise DslError(lineno, "ld needs a location")
+                kind_token = rhs[2] if len(rhs) > 2 else None
+                return Load(dst, Loc(rhs[1]), _kind(kind_token, lineno, AtomicKind.DATA))
+            if rhs[0] == "rmw":
+                if len(rhs) < 4:
+                    raise DslError(lineno, "rmw needs loc, op, operand")
+                kind_token = rhs[4] if len(rhs) > 4 else None
+                return Rmw(
+                    dst, Loc(rhs[1]), rhs[2], _operand(rhs[3], lineno),
+                    None, _kind(kind_token, lineno, AtomicKind.PAIRED),
+                )
+            if rhs[0] == "cas":
+                if len(rhs) < 4:
+                    raise DslError(lineno, "cas needs loc, expected, desired")
+                kind_token = rhs[4] if len(rhs) > 4 else None
+                return Rmw(
+                    dst, Loc(rhs[1]), "cas", _operand(rhs[2], lineno),
+                    _operand(rhs[3], lineno), _kind(kind_token, lineno, AtomicKind.PAIRED),
+                )
+            return Assign(dst, _expr(rhs, lineno))
+
+        raise DslError(lineno, f"cannot parse statement {' '.join(tokens)!r}")
+
+
+def parse(text: str) -> Program:
+    """Parse DSL *text* into a :class:`~repro.litmus.program.Program`."""
+    name = "litmus"
+    init = {}
+    thread_sources: List[List[Tuple[int, List[str]]]] = []
+    current: Optional[List[Tuple[int, List[str]]]] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("name:"):
+            name = line.split(":", 1)[1].strip()
+            continue
+        if line.startswith("init:"):
+            for pair in line.split(":", 1)[1].split():
+                if "=" not in pair:
+                    raise DslError(lineno, f"bad init entry {pair!r}")
+                loc, val = pair.split("=", 1)
+                try:
+                    init[loc.strip()] = int(val)
+                except ValueError:
+                    raise DslError(lineno, f"bad init value {val!r}") from None
+            continue
+        if line.rstrip(":") == "thread":
+            current = []
+            thread_sources.append(current)
+            continue
+        if current is None:
+            raise DslError(lineno, "statement outside any 'thread:' section")
+        current.append((lineno, _tokenize(line)))
+
+    if not thread_sources:
+        raise DslError(0, "no threads declared")
+
+    threads = []
+    for source in thread_sources:
+        parser = _Parser(source)
+        body: List[Instr] = []
+        while not parser.eof():
+            body.append(parser.parse_statement())
+        threads.append(body)
+    return Program(name, threads, init)

@@ -1,0 +1,915 @@
+"""Canonical litmus tests (Section 3.8 / Table 1).
+
+The library contains:
+
+- the paper's five use cases (Listings 1-6): work queue, event counter,
+  flags, split counter, reference counter, seqlocks;
+- the two executions of Figure 2;
+- classic litmus shapes (SB, MP, CoRR, IRIW) in data / paired / relaxed
+  labelings;
+- deliberately mislabeled variants of the use cases, which the
+  programmer-centric model must flag.
+
+Every test records its expected verdict under DRF0, DRF1, and DRFrlx, the
+illegal race classes DRFrlx must report, and whether the system-centric
+machine is allowed to exhibit non-SC outcomes for it (per Theorem 3.1:
+only when an illegal race exists or quantum atomics are used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import (
+    BinOp,
+    Const,
+    If,
+    LocSelect,
+    Not,
+    Reg,
+    While,
+    assign,
+    load,
+    rmw,
+    store,
+)
+from repro.litmus.program import Program
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+COMM = AtomicKind.COMMUTATIVE
+NO = AtomicKind.NON_ORDERING
+QUANTUM = AtomicKind.QUANTUM
+SPEC = AtomicKind.SPECULATIVE
+ACQ = AtomicKind.ACQUIRE
+REL = AtomicKind.RELEASE
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A litmus program plus its expected classification."""
+
+    program: Program
+    description: str
+    use_case: Optional[str]  # Table 1 category, when this is a use case
+    expected_legal: Dict[str, bool]  # model name -> is the program legal
+    expected_race_kinds: Tuple[str, ...]  # DRFrlx illegal race classes
+    #: May the DRFrlx system-centric machine produce non-SC outcomes?
+    non_sc_allowed: bool
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def _spin_until_set(reg: str, loc: str, kind: AtomicKind, max_iters: int = 3):
+    """``do { reg = loc.load(kind) } while (!reg)`` with a bound."""
+    return [
+        load(reg, loc, kind),
+        While(Not(Reg(reg)), [load(reg, loc, kind)], max_iters=max_iters),
+    ]
+
+
+def _tests() -> List[LitmusTest]:
+    tests: List[LitmusTest] = []
+
+    def add(
+        program: Program,
+        description: str,
+        expected_legal: Dict[str, bool],
+        expected_race_kinds: Tuple[str, ...] = (),
+        use_case: Optional[str] = None,
+        non_sc_allowed: bool = False,
+    ) -> None:
+        tests.append(
+            LitmusTest(
+                program=program,
+                description=description,
+                use_case=use_case,
+                expected_legal=expected_legal,
+                expected_race_kinds=expected_race_kinds,
+                non_sc_allowed=non_sc_allowed,
+            )
+        )
+
+    # ------------------------------------------------------------------ classics
+    add(
+        Program(
+            "sb_data",
+            [
+                [store("x", 1, DATA), load("r0", "y", DATA)],
+                [store("y", 1, DATA), load("r1", "x", DATA)],
+            ],
+        ),
+        "Store buffering with plain data accesses: racy under every model.",
+        {"drf0": False, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "sb_paired",
+            [
+                [store("x", 1, PAIRED), load("r0", "y", PAIRED)],
+                [store("y", 1, PAIRED), load("r1", "x", PAIRED)],
+            ],
+        ),
+        "Store buffering with SC atomics: legal; machine stays SC.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "sb_non_ordering",
+            [
+                [store("x", 1, NO), load("r0", "y", NO)],
+                [store("y", 1, NO), load("r1", "x", NO)],
+            ],
+        ),
+        "Store buffering with non-ordering atomics: the racy accesses *do* "
+        "carry ordering responsibility (no valid alternative path), so "
+        "DRFrlx flags a non-ordering race.  DRF1 treats them as unpaired "
+        "(kept in program order), so it is a legal DRF1 program.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("non_ordering",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "mp_data",
+            [
+                [store("data", 42, DATA), store("flag", 1, DATA)],
+                [load("r0", "flag", DATA), If("r0", [load("r1", "data", DATA)])],
+            ],
+        ),
+        "Message passing with no synchronization: data races everywhere.",
+        {"drf0": False, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "mp_paired",
+            [
+                [store("data", 42, DATA), store("flag", 1, PAIRED)],
+                [load("r0", "flag", PAIRED), If("r0", [load("r1", "data", DATA)])],
+            ],
+        ),
+        "Message passing with a paired flag: the canonical DRF0 idiom.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "mp_unpaired_flag",
+            [
+                [store("data", 42, DATA), store("flag", 1, UNPAIRED)],
+                [load("r0", "flag", UNPAIRED), If("r0", [load("r1", "data", DATA)])],
+            ],
+        ),
+        "Message passing through an unpaired flag: unpaired atomics do not "
+        "order data, so the data accesses race under DRF1/DRFrlx.  DRF0 "
+        "(which strengthens every atomic to paired) accepts it.",
+        {"drf0": True, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "corr_paired",
+            [
+                [store("x", 1, PAIRED), store("x", 2, PAIRED)],
+                [load("r0", "x", PAIRED), load("r1", "x", PAIRED)],
+            ],
+        ),
+        "Coherent read-read: same-location paired accesses; always legal.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "iriw_paired",
+            [
+                [store("x", 1, PAIRED)],
+                [store("y", 1, PAIRED)],
+                [load("r0", "x", PAIRED), load("r1", "y", PAIRED)],
+                [load("r2", "y", PAIRED), load("r3", "x", PAIRED)],
+            ],
+        ),
+        "Independent reads of independent writes, all SC atomics.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "lb_paired",
+            [
+                [load("r0", "x", PAIRED), store("y", 1, PAIRED)],
+                [load("r1", "y", PAIRED), store("x", 1, PAIRED)],
+            ],
+        ),
+        "Load buffering with SC atomics: legal, machine forbids r0=r1=1.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "lb_non_ordering",
+            [
+                [load("r0", "x", NO), store("y", 1, NO)],
+                [load("r1", "y", NO), store("x", 1, NO)],
+            ],
+        ),
+        "Load buffering with non-ordering atomics: each racy pair is the "
+        "only enforcement of the cross-thread ordering path, so DRFrlx "
+        "flags non-ordering races; the machine can produce r0=r1=1.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("non_ordering",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "spinlock_cas",
+            [
+                [
+                    rmw("a0", "lock", "cas", 0, PAIRED, operand2=1),
+                    If(
+                        BinOp("==", Reg("a0"), Const(0)),
+                        [store("x", 1, DATA), store("lock", 0, PAIRED)],
+                    ),
+                ],
+                [
+                    rmw("a1", "lock", "cas", 0, PAIRED, operand2=1),
+                    If(
+                        BinOp("==", Reg("a1"), Const(0)),
+                        [store("x", 2, DATA), store("lock", 0, PAIRED)],
+                    ),
+                ],
+            ],
+        ),
+        "A CAS spinlock (non-blocking try-lock form): the critical-section "
+        "data accesses are ordered by the lock's paired atomics.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "work_queue_addr_dep",
+            [
+                [store("task1", 42, DATA), store("q", 1, PAIRED)],
+                [
+                    load("r", "q", PAIRED),
+                    load("v", LocSelect(("task0", "task1"), Reg("r")), DATA),
+                ],
+            ],
+        ),
+        "Work queue variant with an address dependency: the consumer "
+        "indexes the task slot with the dequeued value; the paired queue "
+        "access orders the data.  Legal everywhere.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "high_water_mark",
+            [
+                [rmw("r0", "hwm", "max", 5, COMM), store("f0", 1, PAIRED)],
+                [rmw("r1", "hwm", "max", 9, COMM), store("f1", 1, PAIRED)],
+                [
+                    *_spin_until_set("j0", "f0", PAIRED),
+                    *_spin_until_set("j1", "f1", PAIRED),
+                    load("peak", "hwm", DATA),
+                ],
+            ],
+        ),
+        "High-water-mark tracking: racing fetch-max operations commute; "
+        "the final read is behind paired joins.  Legal everywhere.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Commutative",
+    )
+
+    add(
+        Program(
+            "speculative_addr_observed",
+            [
+                [store("d", 1, SPEC)],
+                [
+                    load("r", "d", SPEC),
+                    load("v", LocSelect(("a", "b"), BinOp("&", Reg("r"), Const(1))), DATA),
+                ],
+            ],
+        ),
+        "A speculative load whose value picks a later address: the value "
+        "is observed (addr dependency), so the race with the speculative "
+        "store is a speculative race.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("speculative",),
+        non_sc_allowed=True,
+    )
+
+    # --------------------------------------------------- 3-thread classics
+    add(
+        Program(
+            "wrc_paired",
+            [
+                [store("x", 1, PAIRED)],
+                [load("r1", "x", PAIRED), If("r1", [store("y", 1, PAIRED)])],
+                [load("r2", "y", PAIRED), load("r3", "x", PAIRED)],
+            ],
+        ),
+        "Write-to-read causality with SC atomics: synchronization is "
+        "transitive through the middle thread.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "wrc_unpaired_middle",
+            [
+                [store("d", 1, DATA), store("x", 1, PAIRED)],
+                [load("r1", "x", PAIRED), If("r1", [store("y", 1, UNPAIRED)])],
+                [load("r2", "y", UNPAIRED), If("r2", [load("r3", "d", DATA)])],
+            ],
+        ),
+        "WRC whose second hop is unpaired: unpaired atomics do not "
+        "extend happens-before, so the data payload races.  DRF0 "
+        "(strengthening everything) accepts it.",
+        {"drf0": True, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "isa2_paired",
+            [
+                [store("d", 1, DATA), store("f1", 1, PAIRED)],
+                [load("r1", "f1", PAIRED), If("r1", [store("f2", 1, PAIRED)])],
+                [load("r2", "f2", PAIRED), If("r2", [load("r3", "d", DATA)])],
+            ],
+        ),
+        "ISA2: a data payload handed through two paired flags; hb1 "
+        "composes across threads.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "s_shape_paired",
+            [
+                [store("x", 2, PAIRED), store("y", 1, PAIRED)],
+                [load("r1", "y", PAIRED), store("x", 1, PAIRED)],
+            ],
+        ),
+        "The S shape with SC atomics: legal; the machine keeps it SC.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "two_plus_two_w_paired",
+            [
+                [store("x", 1, PAIRED), store("y", 2, PAIRED)],
+                [store("y", 1, PAIRED), store("x", 2, PAIRED)],
+            ],
+        ),
+        "2+2W with SC atomics: write-write races between paired atomics "
+        "are legal under every model.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "two_plus_two_w_non_ordering",
+            [
+                [store("x", 1, NO), store("y", 2, NO)],
+                [store("y", 1, NO), store("x", 2, NO)],
+            ],
+        ),
+        "2+2W with non-ordering atomics: each cross-thread write order "
+        "is enforced only through the racy non-ordering edges, so DRFrlx "
+        "flags non-ordering races and the machine can produce the "
+        "both-threads-last outcome.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("non_ordering",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "coww_relaxed",
+            [
+                [store("x", 1, NO), store("x", 2, NO)],
+                [store("x", 3, NO)],
+            ],
+        ),
+        "Coherence (same location only): per-location SC backs every "
+        "ordering path, so relaxed labels are harmless.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    # ------------------------------------------------------------------ Figure 2
+    add(
+        Program(
+            "figure2a",
+            [
+                [store("x", 3, UNPAIRED), store("y", 2, NO)],
+                [load("r1", "y", NO), load("r2", "x", UNPAIRED)],
+            ],
+        ),
+        "Figure 2(a): the only ordering path between the conflicting X "
+        "accesses runs through the non-ordering Y race, so a non-ordering "
+        "race occurs.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("non_ordering",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "figure2b",
+            [
+                [store("x", 3, UNPAIRED), store("z", 1, PAIRED), store("y", 2, NO)],
+                [load("r1", "y", NO), load("r0", "z", PAIRED), load("r2", "x", UNPAIRED)],
+            ],
+        ),
+        "Figure 2(b): the paired Z accesses add a valid path between the X "
+        "accesses, absolving the Y race of ordering responsibility.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    # --------------------------------------------------------------- work queue
+    add(
+        Program(
+            "work_queue",
+            [
+                # Client: publish a task, then bump occupancy with SC RMW.
+                [store("task", 42, DATA), rmw("r_c", "occ", "add", 1, PAIRED)],
+                # Service thread: cheap unpaired occupancy check, then a
+                # paired dequeue that orders the task read.
+                [
+                    load("r0", "occ", UNPAIRED),
+                    If(
+                        BinOp(">", Reg("r0"), Const(0)),
+                        [
+                            load("r1", "occ", PAIRED),
+                            If(
+                                BinOp(">", Reg("r1"), Const(0)),
+                                [load("r2", "task", DATA)],
+                            ),
+                        ],
+                    ),
+                ],
+            ],
+        ),
+        "Listing 1: the occupancy poll is unpaired; the SC atomic inside "
+        "dequeue orders the data accesses.  Legal everywhere.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Unpaired",
+    )
+
+    # ------------------------------------------------------------- event counter
+    add(
+        Program(
+            "event_counter",
+            [
+                [rmw("r0", "ctr", "add", 1, COMM), store("f0", 1, PAIRED)],
+                [rmw("r1", "ctr", "add", 1, COMM), store("f1", 1, PAIRED)],
+                [
+                    *_spin_until_set("j0", "f0", PAIRED),
+                    *_spin_until_set("j1", "f1", PAIRED),
+                    load("total", "ctr", DATA),
+                ],
+            ],
+        ),
+        "Listing 2: racy commutative increments; the final read is "
+        "separated by paired synchronization (the join).  Legal everywhere.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Commutative",
+    )
+
+    add(
+        Program(
+            "event_counter_observed",
+            [
+                [
+                    rmw("r0", "ctr", "add", 1, COMM),
+                    If(BinOp("==", Reg("r0"), Const(0)), [store("won0", 1, DATA)]),
+                ],
+                [
+                    rmw("r1", "ctr", "add", 1, COMM),
+                    If(BinOp("==", Reg("r1"), Const(0)), [store("won1", 1, DATA)]),
+                ],
+            ],
+        ),
+        "Mislabeled event counter: the fetch-add results are observed "
+        "(control dependence), so the racy increments form a commutative "
+        "race under DRFrlx.  DRF1 accepts them as unpaired.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("commutative",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "event_counter_noncommutative",
+            [
+                [rmw("r0", "ctr", "add", 1, COMM)],
+                [rmw("r1", "ctr", "exch", 5, COMM)],
+            ],
+        ),
+        "Mislabeled event counter: a racing exchange does not commute with "
+        "the increment, so DRFrlx flags a commutative race.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("commutative",),
+        non_sc_allowed=True,
+    )
+
+    # --------------------------------------------------------------------- flags
+    add(
+        Program(
+            "flags",
+            [
+                # Worker: poll stop with a non-ordering load; set dirty with
+                # commutative stores; signal exit through a paired flag.
+                [
+                    load("s", "stop", NO),
+                    While(
+                        Not(Reg("s")),
+                        [store("dirty", 1, COMM), load("s", "stop", NO)],
+                        max_iters=2,
+                    ),
+                    store("done", 1, PAIRED),
+                ],
+                # Main: set stop, join the worker, then read dirty.
+                [
+                    store("stop", 1, NO),
+                    *_spin_until_set("j", "done", PAIRED),
+                    load("d", "dirty", NO),
+                    If("d", [store("cleaned", 1, DATA)]),
+                ],
+            ],
+        ),
+        "Listing 3: stop/dirty are relaxed; the paired join provides the "
+        "valid path that orders every conflicting data access.  Legal.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Non-Ordering",
+    )
+
+    add(
+        Program(
+            "flags_no_barrier",
+            [
+                [store("dirty", 1, COMM), store("done", 1, NO)],
+                [
+                    load("j", "done", NO),
+                    load("d", "dirty", NO),
+                    If("d", [store("cleaned", 1, DATA)]),
+                ],
+            ],
+        ),
+        "Mislabeled flags: with the paired join replaced by a non-ordering "
+        "flag there is no valid path ordering the dirty accesses, so the "
+        "done race is a non-ordering race (and the observed dirty load "
+        "races commutatively with the commutative store).",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("commutative", "non_ordering"),
+        non_sc_allowed=True,
+    )
+
+    # ------------------------------------------------------------- split counter
+    add(
+        Program(
+            "split_counter",
+            [
+                [rmw("w0", "c0", "add", 1, QUANTUM), rmw("w1", "c1", "add", 1, QUANTUM)],
+                [
+                    load("r1", "c1", QUANTUM),
+                    load("r0", "c0", QUANTUM),
+                    assign("sum", BinOp("+", Reg("r0"), Reg("r1"))),
+                ],
+            ],
+        ),
+        "Listing 4: concurrent updates and sums of the per-thread counters "
+        "race, but only quantum-with-quantum; the reader must tolerate any "
+        "(random) partial sum.  Legal, and the machine may go non-SC.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Quantum",
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "split_counter_mislabeled",
+            [
+                [rmw("w0", "c0", "add", 1, COMM), rmw("w1", "c1", "add", 1, COMM)],
+                [
+                    load("r1", "c1", COMM),
+                    load("r0", "c0", COMM),
+                    assign("sum", BinOp("+", Reg("r0"), Reg("r1"))),
+                    store("out", Reg("sum"), DATA),
+                ],
+            ],
+        ),
+        "Mislabeled split counter: commutative may not be used because the "
+        "loaded values are observed (Section 3.4.1).",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("commutative",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "quantum_mixed_race",
+            [
+                [store("c", 1, QUANTUM)],
+                [load("r0", "c", UNPAIRED)],
+            ],
+        ),
+        "Quantum racing with a non-quantum atomic: a quantum race "
+        "(Section 3.4.3 — quantum may only race with quantum).",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("quantum",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "quantum_latent_race",
+            [
+                [
+                    load("r", "c", QUANTUM),
+                    If(BinOp("==", Reg("r"), Const(7)), [store("z", 1, DATA)]),
+                ],
+                [store("z", 2, DATA)],
+            ],
+        ),
+        "A data race reachable only in the quantum-equivalent program: in "
+        "SC executions of the original program c is never 7, but the "
+        "quantum load may return any value, exposing the z race.  This is "
+        "why DRFrlx checks Pq, not P.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    # ---------------------------------------------------------- reference counter
+    add(
+        Program(
+            "ref_counter",
+            [
+                [
+                    rmw("i0", "rc", "add", 1, QUANTUM),
+                    rmw("d0", "rc", "sub", 1, QUANTUM),
+                    If(BinOp("==", Reg("d0"), Const(1)), [store("mark", 1, COMM)]),
+                ],
+                [
+                    rmw("i1", "rc", "add", 1, QUANTUM),
+                    rmw("d1", "rc", "sub", 1, QUANTUM),
+                    If(BinOp("==", Reg("d1"), Const(1)), [store("mark", 1, COMM)]),
+                ],
+            ],
+        ),
+        "Listing 5: quantum increments/decrements; the mark-for-deletion "
+        "stores are commutative (same value, unobserved).  Legal.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Quantum",
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "ref_counter_data_mark",
+            [
+                [
+                    rmw("i0", "rc", "add", 1, QUANTUM),
+                    rmw("d0", "rc", "sub", 1, QUANTUM),
+                    If(BinOp("==", Reg("d0"), Const(1)), [store("mark", 1, DATA)]),
+                ],
+                [
+                    rmw("i1", "rc", "add", 1, QUANTUM),
+                    rmw("d1", "rc", "sub", 1, QUANTUM),
+                    If(BinOp("==", Reg("d1"), Const(1)), [store("mark", 1, DATA)]),
+                ],
+            ],
+        ),
+        "Reference counter whose deletion marks are plain data: the "
+        "quantum-equivalent program lets both threads believe they were "
+        "last, racing on the mark (Section 3.4.4's 'extra care').",
+        {"drf0": False, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    # ------------------------------------------------------------------- seqlocks
+    add(
+        Program(
+            "seqlocks",
+            [
+                # Writer: make seq odd, update data, make seq even.
+                [
+                    rmw("w0", "seq", "add", 1, PAIRED),
+                    store("data1", 7, SPEC),
+                    rmw("w1", "seq", "add", 1, PAIRED),
+                ],
+                # Reader: sequence check around a speculative data load; the
+                # value is used only when the sequence numbers validate.
+                [
+                    load("s0", "seq", PAIRED),
+                    load("v", "data1", SPEC),
+                    rmw("s1", "seq", "add", 0, PAIRED),  # read-don't-modify-write
+                    If(
+                        BinOp(
+                            "&",
+                            BinOp("==", Reg("s0"), Reg("s1")),
+                            Not(BinOp("&", Reg("s0"), Const(1))),
+                        ),
+                        [store("use", Reg("v"), DATA)],
+                    ),
+                ],
+            ],
+        ),
+        "Listing 6: speculative data loads may race with the writer's "
+        "store, but their values are only observed in executions where the "
+        "sequence check proves there was no race.  Legal.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Speculative",
+    )
+
+    add(
+        Program(
+            "seqlocks_leaky",
+            [
+                [
+                    rmw("w0", "seq", "add", 1, PAIRED),
+                    store("data1", 7, SPEC),
+                    rmw("w1", "seq", "add", 1, PAIRED),
+                ],
+                [
+                    load("s0", "seq", PAIRED),
+                    load("v", "data1", SPEC),
+                    store("use", Reg("v"), DATA),  # uses the value unconditionally
+                    rmw("s1", "seq", "add", 0, PAIRED),
+                ],
+            ],
+        ),
+        "Mislabeled seqlock: the speculative value escapes before "
+        "validation, so executions with a concurrent writer have a "
+        "speculative race.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("speculative",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "seqlocks_write_write",
+            [
+                [store("data1", 7, SPEC)],
+                [store("data1", 8, SPEC)],
+            ],
+        ),
+        "Two racing speculative stores: a speculative race regardless of "
+        "observation (Section 3.5.3, 'both operations are stores').",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("speculative",),
+        non_sc_allowed=True,
+    )
+
+    # ------------------------------------------- acquire/release (extension)
+    add(
+        Program(
+            "mp_acquire_release",
+            [
+                [store("data", 42, DATA), store("flag", 1, REL)],
+                [load("r0", "flag", ACQ), If("r0", [load("r1", "data", DATA)])],
+            ],
+        ),
+        "Message passing through a release store / acquire load pair "
+        "(extension labels): the release-acquire so1 edge orders the data "
+        "accesses without full-fence paired atomics.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+    )
+
+    add(
+        Program(
+            "mp_release_unpaired_read",
+            [
+                [store("data", 42, DATA), store("flag", 1, REL)],
+                [load("r0", "flag", UNPAIRED), If("r0", [load("r1", "data", DATA)])],
+            ],
+        ),
+        "A release store read by a plain unpaired load: no synchronization "
+        "order forms, so the data accesses race.  DRF0 (which strengthens "
+        "everything to paired) accepts it.",
+        {"drf0": True, "drf1": False, "drfrlx": False},
+        ("data",),
+        non_sc_allowed=True,
+    )
+
+    add(
+        Program(
+            "seqlocks_acqrel",
+            [
+                [
+                    rmw("w0", "seq", "add", 1, ACQ),
+                    store("data1", 7, SPEC),
+                    rmw("w1", "seq", "add", 1, REL),
+                ],
+                [
+                    load("s0", "seq", ACQ),
+                    load("v", "data1", SPEC),
+                    rmw("s1", "seq", "add", 0, REL),  # read-don't-modify-write
+                    If(
+                        BinOp(
+                            "&",
+                            BinOp("==", Reg("s0"), Reg("s1")),
+                            Not(BinOp("&", Reg("s0"), Const(1))),
+                        ),
+                        [store("use", Reg("v"), DATA)],
+                    ),
+                ],
+            ],
+        ),
+        "Seqlocks with acquire/release sequence-number accesses (the "
+        "footnote 7 optimization): the reader's seq accesses need not be "
+        "full SC atomics; release-acquire pairing still validates the "
+        "speculative loads.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Speculative",
+    )
+
+    # --------------------------------------------------------- HG-NO shape
+    add(
+        Program(
+            "hist_read_barrier",
+            [
+                [rmw("u0", "bin0", "add", 1, COMM), store("f0", 1, PAIRED)],
+                [
+                    *_spin_until_set("j", "f0", PAIRED),
+                    load("b0", "bin0", NO),
+                    If("b0", [store("out", 1, DATA)]),
+                ],
+            ],
+        ),
+        "HG-NO shape: commutative histogram updates, then a non-ordering "
+        "read of the final bins after a paired barrier.  Legal.",
+        {"drf0": True, "drf1": True, "drfrlx": True},
+        use_case="Commutative",
+    )
+
+    add(
+        Program(
+            "hist_read_no_barrier",
+            [
+                [rmw("u0", "bin0", "add", 1, COMM)],
+                [load("b0", "bin0", NO), If("b0", [store("out", 1, DATA)])],
+            ],
+        ),
+        "HG-NO without the barrier: the non-ordering read races with the "
+        "commutative update and its value is observed — a commutative race.",
+        {"drf0": True, "drf1": True, "drfrlx": False},
+        ("commutative",),
+        non_sc_allowed=True,
+    )
+
+    return tests
+
+
+_LIBRARY: Optional[Tuple[LitmusTest, ...]] = None
+
+
+def all_tests() -> Tuple[LitmusTest, ...]:
+    """The full litmus library, built once."""
+    global _LIBRARY
+    if _LIBRARY is None:
+        _LIBRARY = tuple(_tests())
+    return _LIBRARY
+
+
+def get(name: str) -> LitmusTest:
+    for test in all_tests():
+        if test.name == name:
+            return test
+    raise KeyError(f"no litmus test named {name!r}")
+
+
+def use_cases() -> Tuple[LitmusTest, ...]:
+    """The Table 1 use-case tests only."""
+    return tuple(t for t in all_tests() if t.use_case is not None)
+
+
+def table1_rows() -> Tuple[Tuple[str, str], ...]:
+    """(category, application) rows reproducing Table 1."""
+    rows = []
+    for test in use_cases():
+        rows.append((test.use_case, test.name))
+    return tuple(rows)

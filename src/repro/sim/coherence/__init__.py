@@ -1,0 +1,18 @@
+"""Coherence protocols: conventional GPU, DeNovo, and a MESI comparator."""
+
+from repro.sim.coherence.base import CoherenceProtocol
+from repro.sim.coherence.denovo import DeNovoCoherence
+from repro.sim.coherence.gpu import GpuCoherence
+from repro.sim.coherence.mesi import MesiCoherence
+
+#: "mesi" is a comparator beyond the paper's two evaluated protocols; the
+#: standard six-configuration sweeps use gpu and denovo only.
+PROTOCOLS = {"gpu": GpuCoherence, "denovo": DeNovoCoherence, "mesi": MesiCoherence}
+
+__all__ = [
+    "CoherenceProtocol",
+    "DeNovoCoherence",
+    "GpuCoherence",
+    "MesiCoherence",
+    "PROTOCOLS",
+]

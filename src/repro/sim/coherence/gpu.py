@@ -1,0 +1,60 @@
+"""Conventional GPU coherence (Section 2.1).
+
+Software-driven and race-freedom-reliant: loads allocate clean lines in
+the L1; stores write through the store buffer to the LLC; a paired
+acquire invalidates the *entire* L1; a paired release drains the store
+buffer; and every atomic executes at its home L2 bank — so atomics can
+never be cached, reused, or coalesced by the L1.
+"""
+
+from __future__ import annotations
+
+from repro.sim import stats as S
+from repro.sim.coherence.base import CoherenceProtocol
+from repro.sim.mem.cache import LineState
+
+
+class GpuCoherence(CoherenceProtocol):
+    atomics_at_l1 = False
+
+    def load(self, now: float, addr: int) -> float:
+        line = self.line_of(addr)
+        self.stats.bump(S.L1_ACCESS)
+        self.mshr.retire_ready(now)
+        if self.l1.lookup(addr, now) is not LineState.INVALID:
+            self.stats.bump(S.L1_HIT)
+            return self.l1_port.acquire(now, self.config.l1_hit_latency)
+        self.stats.bump(S.L1_MISS)
+        pending = self.mshr.outstanding(line)
+        if pending is not None and pending.coalesced < self.config.mshr_targets:
+            self.mshr.coalesce(line)
+            self.stats.bump(S.MSHR_COALESCE)
+            return max(pending.ready_at, now) + self.config.l1_hit_latency
+        ready = self._l2_fetch(now, line)
+        if pending is None and not self.mshr.full:
+            self.mshr.allocate(line, ready)
+        self.l1.fill(addr, LineState.VALID, now)
+        return ready
+
+    def store(self, now: float, addr: int) -> float:
+        # Write-through, no-allocate; keep an existing line coherent by
+        # updating it in place (it stays VALID — this CU wrote the data).
+        line = self.line_of(addr)
+        self.stats.bump(S.L1_ACCESS)
+        self.stats.bump(S.SB_WRITE)
+        return self._l2_writethrough(now, line)
+
+    def atomic(self, now: float, addr: int, is_rmw: bool = True) -> float:
+        """All atomics execute at the LLC; the bank port serializes them.
+        A plain atomic load occupies the bank like any read; an RMW holds
+        it for the read-modify-write."""
+        line = self.line_of(addr)
+        self.stats.bump(S.ATOMIC_ISSUED)
+        self.stats.bump(S.L2_ATOMIC)
+        return self._l2_fetch(now, line, atomic=is_rmw)
+
+    def acquire(self, now: float) -> float:
+        dropped = self.l1.invalidate_all()
+        self.stats.bump(S.L1_INVALIDATE)
+        self.stats.bump("l1_lines_invalidated", dropped)
+        return now + self.config.cache_invalidate_cycles

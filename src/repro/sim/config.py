@@ -1,0 +1,142 @@
+"""System configuration — Table 2 of the paper, plus the discrete-GPU
+configuration used for the Figure 1 motivation experiment.
+
+All latencies are in GPU core cycles (700 MHz in the integrated system).
+The banded latencies in Table 2 (remote L1 35-83, L2 29-61, memory
+197-261) arise in our model as a base cost plus mesh-hop distance, which
+reproduces the paper's NUCA spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Parameters of the simulated heterogeneous system."""
+
+    name: str = "integrated"
+
+    # Topology (Table 2: 4x4 mesh, 15 GPU CUs + 1 CPU core).
+    mesh_width: int = 4
+    mesh_height: int = 4
+    num_cus: int = 15
+    num_cpus: int = 1
+
+    # Cache hierarchy.
+    line_bytes: int = 64
+    l1_kb: int = 32
+    l1_assoc: int = 8
+    l1_banks: int = 8
+    l2_kb_total: int = 4096
+    l2_banks: int = 16
+    store_buffer_entries: int = 128
+    l1_mshrs: int = 128
+
+    # Latencies (cycles).
+    l1_hit_latency: float = 1.0
+    l2_base_latency: float = 29.0  # closest-bank L2 hit (Table 2: 29-61)
+    noc_hop_latency: float = 3.0
+    dram_latency: float = 168.0  # added to an L2 access on miss (197-261)
+    remote_l1_base_latency: float = 28.0  # + NoC legs => Table 2's 35-83
+
+    # Service/occupancy times at serializing ports.
+    l2_bank_service: float = 4.0  # per request at an L2 bank port
+    l2_atomic_service: float = 8.0  # read-modify-write occupies the bank longer
+    l1_atomic_service: float = 1.0  # DeNovo atomic at L1 once registered
+    remote_l1_service: float = 6.0  # owner-side L1 occupancy per forwarded request
+    dram_service: float = 20.0
+    link_flit_service: float = 1.0  # per-flit serialization on a mesh link
+    issue_service: float = 1.0  # CU issue port, one op per cycle
+
+    # Sizes -> flits (32B flits; a data response is line-sized).
+    flit_bytes: int = 32
+    ctrl_msg_bytes: int = 8
+    data_msg_bytes: int = 64
+
+    # GPU execution.
+    warps_per_cu: int = 8
+    warp_size: int = 32
+
+    # DeNovo registers ownership at word granularity (no false sharing);
+    # an MSHR entry coalesces a bounded number of same-address targets.
+    word_bytes: int = 4
+    mshr_targets: int = 8
+    #: In-flight relaxed atomics one warp may keep (LSU queue depth).
+    max_outstanding_per_warp: int = 16
+
+    # Frequencies (Table 2), informational: the simulator runs in GPU cycles.
+    gpu_mhz: int = 700
+    cpu_mhz: int = 2000
+
+    # Cost knobs for the protocol actions the consistency models trade in.
+    cache_invalidate_cycles: float = 2.0  # flash-invalidate the L1
+
+    def l1_lines(self) -> int:
+        return self.l1_kb * 1024 // self.line_bytes
+
+    def l1_sets(self) -> int:
+        return max(1, self.l1_lines() // self.l1_assoc)
+
+    def ctrl_flits(self) -> int:
+        return max(1, -(-self.ctrl_msg_bytes // self.flit_bytes))
+
+    def data_flits(self) -> int:
+        return max(1, -(-self.data_msg_bytes // self.flit_bytes))
+
+
+#: The paper's integrated CPU-GPU system (Table 2).
+INTEGRATED = SystemConfig()
+
+#: A discrete-GPU-like configuration for the Figure 1 motivation
+#: experiment: no coherent CPU coupling, more CUs, and substantially more
+#: expensive atomics and memory (PCIe-era GTX 680-class behaviour).
+DISCRETE = SystemConfig(
+    name="discrete",
+    mesh_width=4,
+    mesh_height=4,
+    num_cus=16,
+    num_cpus=0,
+    l2_base_latency=80.0,
+    dram_latency=300.0,
+    l2_bank_service=8.0,
+    l2_atomic_service=24.0,
+    noc_hop_latency=6.0,
+    warps_per_cu=16,
+)
+
+
+def table2_rows(config: SystemConfig = INTEGRATED) -> Tuple[Tuple[str, str], ...]:
+    """Reproduce Table 2 as (parameter, value) rows."""
+    max_hops = (config.mesh_width - 1) + (config.mesh_height - 1)
+    rt = 2 * config.noc_hop_latency  # one hop each way
+    return (
+        ("CPU frequency", f"{config.cpu_mhz / 1000:g} GHz"),
+        ("CPU cores", str(config.num_cpus)),
+        ("GPU frequency", f"{config.gpu_mhz} MHz"),
+        ("GPU CUs", str(config.num_cus)),
+        ("L1 size (8 banks, 8-way assoc.)", f"{config.l1_kb} KB"),
+        ("L2 size (16 banks, NUCA)", f"{config.l2_kb_total // 1024} MB"),
+        ("Store buffer size", f"{config.store_buffer_entries} entries"),
+        ("L1 MSHRs", f"{config.l1_mshrs} entries"),
+        ("L1 hit latency", f"{config.l1_hit_latency:g} cycle"),
+        (
+            "Remote L1 hit latency",
+            f"{config.remote_l1_base_latency + rt:g}-"
+            f"{config.remote_l1_base_latency + 2 * max_hops * config.noc_hop_latency:g}"
+            " cycles",
+        ),
+        (
+            "L2 hit latency",
+            f"{config.l2_base_latency:g}-"
+            f"{config.l2_base_latency + 2 * max_hops * config.noc_hop_latency:g} cycles",
+        ),
+        (
+            "Memory latency",
+            f"{config.l2_base_latency + config.dram_latency:g}-"
+            f"{config.l2_base_latency + config.dram_latency + 2 * max_hops * config.noc_hop_latency:g}"
+            " cycles",
+        ),
+    )

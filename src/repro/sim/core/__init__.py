@@ -1,0 +1,5 @@
+"""Execution cores: GPU compute units (warps, scheduler, LSU)."""
+
+from repro.sim.core.cu import ComputeUnit, Warp
+
+__all__ = ["ComputeUnit", "Warp"]

@@ -1,0 +1,21 @@
+"""Memory-system structures: L1, MSHRs, store buffer, L2, scratchpad."""
+
+from repro.sim.mem.cache import CacheLine, L1Cache, LineState
+from repro.sim.mem.l2 import BankAccess, L2Bank, L2System
+from repro.sim.mem.mshr import MshrEntry, MshrFile
+from repro.sim.mem.scratchpad import Scratchpad
+from repro.sim.mem.storebuffer import PendingStore, StoreBuffer
+
+__all__ = [
+    "BankAccess",
+    "CacheLine",
+    "L1Cache",
+    "L2Bank",
+    "L2System",
+    "LineState",
+    "MshrEntry",
+    "MshrFile",
+    "PendingStore",
+    "Scratchpad",
+    "StoreBuffer",
+]

@@ -1,0 +1,103 @@
+"""The shared, banked NUCA L2 plus the memory behind it.
+
+Each mesh node hosts one bank slice; a physical address maps to its home
+bank by line interleaving.  Bank ports are serializing resources — this
+is where GPU coherence pays for executing every atomic at the LLC under
+contention.  For DeNovo the L2 doubles as the registration directory
+(line -> owning L1), so it can forward requests to remote owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Resource
+
+
+@dataclass
+class BankAccess:
+    """Timing outcome of one request at a bank."""
+
+    done: float
+    l2_hit: bool
+
+
+class L2Bank:
+    def __init__(self, node: int, config: SystemConfig):
+        self.node = node
+        self.config = config
+        self.port = Resource(f"l2bank@{node}")
+        self.dram = Resource(f"dram@{node}")
+        #: Lines this bank currently holds (a simple capacity-less filter:
+        #: the first touch of a line is a miss, later touches hit — the
+        #: workloads' footprints fit the 4 MB L2, matching the paper).
+        self._present: Set[int] = set()
+        #: DeNovo registry: line -> owner CU node (None when L2 owns it).
+        self.owner: Dict[int, Optional[int]] = {}
+        #: DeNovo word-granular registry for atomics: word -> owner node.
+        self.word_owner: Dict[int, Optional[int]] = {}
+        self.accesses = 0
+        self.atomic_ops = 0
+        self.dram_accesses = 0
+
+    def access(self, arrival: float, line: int, atomic: bool = False) -> BankAccess:
+        """Service a request arriving at this bank at *arrival*."""
+        service = (
+            self.config.l2_atomic_service if atomic else self.config.l2_bank_service
+        )
+        done = self.port.acquire(arrival, service) + self.config.l2_base_latency
+        self.accesses += 1
+        if atomic:
+            self.atomic_ops += 1
+        hit = line in self._present
+        if not hit:
+            done = (
+                self.dram.acquire(done, self.config.dram_service)
+                + self.config.dram_latency
+            )
+            self._present.add(line)
+            self.dram_accesses += 1
+        return BankAccess(done=done, l2_hit=hit)
+
+    # -- DeNovo registry ---------------------------------------------------------
+    def current_owner(self, line: int) -> Optional[int]:
+        return self.owner.get(line)
+
+    def register(self, line: int, new_owner: int) -> Optional[int]:
+        """Record *new_owner* as the line's registrant; returns previous."""
+        prev = self.owner.get(line)
+        self.owner[line] = new_owner
+        return prev
+
+    def unregister(self, line: int, node: int) -> None:
+        if self.owner.get(line) == node:
+            self.owner[line] = None
+
+
+class L2System:
+    """All banks plus the home-mapping function."""
+
+    def __init__(self, config: SystemConfig, nodes: List[int]):
+        if not nodes:
+            raise ValueError("need at least one L2 bank node")
+        self.config = config
+        self.banks: Dict[int, L2Bank] = {n: L2Bank(n, config) for n in nodes}
+        self._nodes = list(nodes)
+
+    def home_node(self, line: int) -> int:
+        # XOR-folded bank hash (as in real NUCA L2s): plain modulo maps
+        # power-of-two strides onto a couple of banks, serializing whole
+        # access waves behind two DRAM ports.
+        index = (line ^ (line >> 4) ^ (line >> 8)) % len(self._nodes)
+        return self._nodes[index]
+
+    def bank_for(self, line: int) -> L2Bank:
+        return self.banks[self.home_node(line)]
+
+    def total_accesses(self) -> int:
+        return sum(b.accesses for b in self.banks.values())
+
+    def total_dram(self) -> int:
+        return sum(b.dram_accesses for b in self.banks.values())

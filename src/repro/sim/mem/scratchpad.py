@@ -1,0 +1,18 @@
+"""Per-CU scratchpad (shared memory): private, single-cycle storage.
+
+Workloads that pre-bin locally (the paper's Hist microbenchmark) do most
+of their updates here, which is why Hist barely benefits from relaxed
+atomics (Section 6.2).
+"""
+
+from __future__ import annotations
+
+
+class Scratchpad:
+    def __init__(self, latency: float = 1.0):
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, now: float) -> float:
+        self.accesses += 1
+        return now + self.latency

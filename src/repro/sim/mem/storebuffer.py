@@ -1,0 +1,68 @@
+"""A FIFO store buffer.
+
+GPU coherence writes dirty data through to the L2 from here; a paired
+release must drain it (the "store buffer flush" cost DRF1 and DRFrlx
+avoid for unpaired/relaxed atomics — Table 4, row 2).  DeNovo's store
+buffer holds stores awaiting L1 registration instead of writing through.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+
+@dataclass
+class PendingStore:
+    addr: int
+    completes_at: float
+
+
+class StoreBuffer:
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = entries
+        self._fifo: Deque[PendingStore] = deque()
+        self.total_writes = 0
+        self.total_flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    def drain_completed(self, now: float) -> None:
+        while self._fifo and self._fifo[0].completes_at <= now:
+            self._fifo.popleft()
+
+    def push(self, now: float, addr: int, completes_at: float) -> None:
+        self.drain_completed(now)
+        if self.full:
+            raise ValueError("store buffer full")
+        # FIFO drain: a store cannot complete before its predecessor.
+        if self._fifo:
+            completes_at = max(completes_at, self._fifo[-1].completes_at)
+        self._fifo.append(PendingStore(addr, completes_at))
+        self.total_writes += 1
+
+    def head_completion(self) -> float:
+        return self._fifo[0].completes_at if self._fifo else 0.0
+
+    def flush_time(self, now: float) -> float:
+        """Time at which the buffer is empty (a paired release's wait)."""
+        self.drain_completed(now)
+        self.total_flushes += 1
+        if not self._fifo:
+            return now
+        return self._fifo[-1].completes_at
+
+    def last_completion(self, now: float) -> float:
+        """Like flush_time but without counting a flush event."""
+        self.drain_completed(now)
+        if not self._fifo:
+            return now
+        return self._fifo[-1].completes_at

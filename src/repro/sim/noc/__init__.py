@@ -1,0 +1,5 @@
+"""The on-chip interconnect (Garnet-style 4x4 mesh)."""
+
+from repro.sim.noc.mesh import Mesh, TraversalResult
+
+__all__ = ["Mesh", "TraversalResult"]

@@ -1,0 +1,121 @@
+"""A 2-D mesh interconnect with XY dimension-order routing.
+
+Each CPU core / GPU CU sits on its own node alongside one bank slice of
+the shared L2 (the paper's Garnet-modelled 4x4 mesh).  Directed links are
+:class:`~repro.sim.engine.Resource` objects, so flit serialization on a
+link models occupancy; per-hop latency is additive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Resource
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """Outcome of sending one message across the mesh."""
+
+    arrival: float
+    hops: int
+    flit_hops: int  # flits x hops, the NoC energy unit
+
+
+class Mesh:
+    """The interconnect: nodes 0..W*H-1, XY routing, per-link FIFOs."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.width = config.mesh_width
+        self.height = config.mesh_height
+        self.num_nodes = self.width * self.height
+        self._links: Dict[Tuple[int, int], Resource] = {}
+        self.flit_hops: int = 0
+        self.messages: int = 0
+
+    # -- geometry -------------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        return y * self.width + x
+
+    def distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY route: the node sequence from src to dst (inclusive)."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(self.node_at(x, y))
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(self.node_at(x, y))
+        return path
+
+    def _link(self, a: int, b: int) -> Resource:
+        key = (a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = Resource(f"link{a}->{b}")
+            self._links[key] = link
+        return link
+
+    # -- traffic ----------------------------------------------------------------
+    def send(self, now: float, src: int, dst: int, flits: int) -> TraversalResult:
+        """Send a message; returns its arrival time at *dst*.
+
+        Wormhole latency model: per-hop router+link latency for the head
+        flit, plus tail-flit pipelining once at the end.  Links are not
+        modelled as FIFO servers: the simulator computes whole
+        request-response chains eagerly, so a response would reserve its
+        links far in the future and (under FIFO service) incorrectly
+        stall near-term *requests* behind it — a time-ordering artifact,
+        not contention.  Serialization contention is captured where it is
+        visited in near-time order: L2 bank ports, DRAM, and L1 ports.
+        Link occupancy still feeds the NoC energy model via flit-hops.
+        """
+        if src == dst:
+            return TraversalResult(arrival=now, hops=0, flit_hops=0)
+        hops = self.distance(src, dst)
+        t = (
+            now
+            + hops * self.config.noc_hop_latency
+            + flits * self.config.link_flit_service
+        )
+        for a, b in zip(self.route(src, dst), self.route(src, dst)[1:]):
+            link = self._link(a, b)
+            link.requests += 1
+            link.busy_cycles += flits * self.config.link_flit_service
+        self.flit_hops += flits * hops
+        self.messages += 1
+        return TraversalResult(arrival=t, hops=hops, flit_hops=flits * hops)
+
+    def round_trip(
+        self, now: float, src: int, dst: int, req_flits: int, resp_flits: int
+    ) -> TraversalResult:
+        """Request to *dst* and response back to *src*."""
+        there = self.send(now, src, dst, req_flits)
+        back = self.send(there.arrival, dst, src, resp_flits)
+        return TraversalResult(
+            arrival=back.arrival,
+            hops=there.hops + back.hops,
+            flit_hops=there.flit_hops + back.flit_hops,
+        )
+
+    def reset_stats(self) -> None:
+        self.flit_hops = 0
+        self.messages = 0
+        for link in self._links.values():
+            link.reset()

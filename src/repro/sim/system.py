@@ -1,0 +1,158 @@
+"""The simulated heterogeneous system: CUs + mesh + L2 under one of the
+six configurations (Section 4.3: {GPU, DeNovo} x {DRF0, DRF1, DRFrlx})."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim import stats as S
+from repro.sim.coherence import PROTOCOLS
+from repro.sim.config import INTEGRATED, SystemConfig
+from repro.sim.consistency import MODELS, ConsistencyModel
+from repro.sim.core.cu import ComputeUnit
+from repro.sim.engine import EventLoop
+from repro.sim.mem.l2 import L2System
+from repro.sim.noc.mesh import Mesh
+from repro.sim.stats import SimStats
+from repro.sim.trace import Kernel, Phase
+
+#: Fixed cost of a global barrier between phases (kernel relaunch /
+#: grid-wide join), identical across configurations.
+GLOBAL_BARRIER_CYCLES = 200.0
+
+CONFIG_ABBREV = {
+    ("gpu", "drf0"): "GD0",
+    ("gpu", "drf1"): "GD1",
+    ("gpu", "drfrlx"): "GDR",
+    ("denovo", "drf0"): "DD0",
+    ("denovo", "drf1"): "DD1",
+    ("denovo", "drfrlx"): "DDR",
+}
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one kernel on one configuration."""
+
+    workload: str
+    protocol: str
+    model: str
+    cycles: float
+    stats: SimStats
+    phase_cycles: Tuple[float, ...]
+
+    @property
+    def config_name(self) -> str:
+        abbrev = CONFIG_ABBREV.get((self.protocol, self.model))
+        return abbrev if abbrev else f"{self.protocol}+{self.model}"
+
+
+class System:
+    """One simulated machine instance (single use: build, run, read stats)."""
+
+    def __init__(
+        self,
+        protocol: str = "gpu",
+        model: str = "drf0",
+        config: SystemConfig = INTEGRATED,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.protocol_name = protocol
+        self.model = ConsistencyModel(model)
+        self.config = config
+        self.stats = SimStats()
+        self.mesh = Mesh(config)
+        all_nodes = list(range(self.mesh.num_nodes))
+        l2_nodes = all_nodes[: config.l2_banks] if config.l2_banks <= len(all_nodes) else all_nodes
+        self.l2 = L2System(config, l2_nodes)
+        peers: Dict[int, object] = {}
+        protocol_cls = PROTOCOLS[protocol]
+        self.cus: List[ComputeUnit] = []
+        # GPU CUs occupy the first nodes; CPU cores (coherent participants
+        # of the same protocol, as in the paper's integrated system) take
+        # the following nodes.  A kernel addresses them by core index:
+        # 0..num_cus-1 are CUs, num_cus.. are CPU cores.
+        for node in range(config.num_cus + config.num_cpus):
+            proto = protocol_cls(node, config, self.mesh, self.l2, self.stats, peers)
+            self.cus.append(ComputeUnit(node, config, proto, self.model, self.stats))
+
+    # ------------------------------------------------------------------ running
+    def run(self, kernel: Kernel) -> RunResult:
+        phase_times: List[float] = []
+        clock = 0.0
+        for phase in kernel.phases:
+            end = self._run_phase(phase, clock)
+            end = self._global_barrier(end)
+            phase_times.append(end - clock)
+            clock = end
+        return RunResult(
+            workload=kernel.name,
+            protocol=self.protocol_name,
+            model=self.model.name,
+            cycles=clock,
+            stats=self.stats,
+            phase_cycles=tuple(phase_times),
+        )
+
+    def _run_phase(self, phase: Phase, start: float) -> float:
+        loop = EventLoop()
+        loop.now = start
+        active = []
+        for cu_index, traces in phase.warps_per_cu.items():
+            if cu_index >= len(self.cus):
+                raise ValueError(
+                    f"phase {phase.name!r} targets CU {cu_index}, "
+                    f"system has {len(self.cus)}"
+                )
+            cu = self.cus[cu_index]
+            cu.load_phase(traces)
+            active.append(cu)
+            for warp in cu.warps:
+                loop.schedule(start, (cu, warp))
+        end = start
+        while True:
+            item = loop.pop()
+            if item is None:
+                break
+            now, (cu, warp) = item
+            if warp.done:
+                continue
+            wake = cu.step_warp(warp, now)
+            if wake is None:
+                end = max(end, warp.finish_time)
+                continue
+            # Guarantee forward progress even when a warp retries "now".
+            loop.schedule(max(wake, now + 1e-9), (cu, warp))
+            end = max(end, wake)
+        for cu in active:
+            if not cu.all_done():
+                raise RuntimeError(f"phase {phase.name!r}: warps did not retire")
+        return end
+
+    def _global_barrier(self, now: float) -> float:
+        """All CUs synchronize: release (flush) + acquire (invalidate)."""
+        latest = now
+        for cu in self.cus:
+            flushed = cu.protocol.release(now)
+            invalidated = cu.protocol.acquire(flushed)
+            latest = max(latest, invalidated)
+        return latest + GLOBAL_BARRIER_CYCLES
+
+
+def run_workload(
+    kernel: Kernel,
+    protocol: str,
+    model: str,
+    config: SystemConfig = INTEGRATED,
+) -> RunResult:
+    """Build a fresh system and run *kernel* on it."""
+    return System(protocol, model, config).run(kernel)
+
+
+def all_configurations() -> Tuple[Tuple[str, str], ...]:
+    """The six (protocol, model) configurations of Section 4.3."""
+    return tuple(
+        (protocol, model) for protocol in ("gpu", "denovo") for model in MODELS
+    )

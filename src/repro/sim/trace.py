@@ -1,0 +1,91 @@
+"""The workload trace IR the simulator executes.
+
+A workload compiles to a *kernel*: a list of phases separated by global
+barriers.  Each phase assigns every CU a list of warp traces; a warp
+trace is a sequence of per-thread operations:
+
+- :class:`MemAccess` — one memory transaction (a coalesced warp access or
+  one lane's atomic), labelled with its :class:`~repro.core.labels.AtomicKind`;
+- :class:`Compute` — ALU work, in cycles;
+- :class:`WaitAll` — wait for every outstanding access of this warp
+  (a dependence fence inside the warp, e.g. before using loaded values).
+
+Addresses are byte addresses in a flat global space; ``space="scratch"``
+routes the access to the CU's scratchpad instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from repro.core.labels import AtomicKind
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    op: str  # "ld" | "st" | "rmw"
+    addr: int
+    kind: AtomicKind = AtomicKind.DATA
+    space: str = "global"  # "global" | "scratch"
+
+    def __post_init__(self):
+        if self.op not in ("ld", "st", "rmw"):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.space not in ("global", "scratch"):
+            raise ValueError(f"bad space {self.space!r}")
+
+
+@dataclass(frozen=True)
+class Compute:
+    cycles: float
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    pass
+
+
+WarpOp = Union[MemAccess, Compute, WaitAll]
+WarpTrace = List[WarpOp]
+
+
+@dataclass
+class Phase:
+    """One global-barrier-delimited phase: per-CU warp traces."""
+
+    name: str
+    warps_per_cu: Dict[int, List[WarpTrace]] = field(default_factory=dict)
+
+    def add_warp(self, cu: int, trace: Sequence[WarpOp]) -> None:
+        self.warps_per_cu.setdefault(cu, []).append(list(trace))
+
+    def total_ops(self) -> int:
+        return sum(
+            len(t) for traces in self.warps_per_cu.values() for t in traces
+        )
+
+
+@dataclass
+class Kernel:
+    """A full workload execution: phases separated by global barriers."""
+
+    name: str
+    phases: List[Phase] = field(default_factory=list)
+
+    def total_ops(self) -> int:
+        return sum(p.total_ops() for p in self.phases)
+
+
+# -- convenience builders --------------------------------------------------------
+
+def ld(addr: int, kind: AtomicKind = AtomicKind.DATA, space: str = "global") -> MemAccess:
+    return MemAccess("ld", addr, kind, space)
+
+
+def st(addr: int, kind: AtomicKind = AtomicKind.DATA, space: str = "global") -> MemAccess:
+    return MemAccess("st", addr, kind, space)
+
+
+def rmw(addr: int, kind: AtomicKind, space: str = "global") -> MemAccess:
+    return MemAccess("rmw", addr, kind, space)

@@ -1,0 +1,17 @@
+"""Table 3 workloads: 7 microbenchmarks + UTS, BC (4 inputs), PR (4 inputs)."""
+
+from repro.workloads.base import (
+    Workload,
+    all_workloads,
+    benchmarks,
+    get,
+    microbenchmarks,
+)
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "benchmarks",
+    "get",
+    "microbenchmarks",
+]

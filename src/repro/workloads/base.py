@@ -1,0 +1,101 @@
+"""Workload framework: each workload compiles to a trace kernel.
+
+A :class:`Workload` carries its Table 3 metadata (input description and
+the relaxed-atomic classes it uses) and a ``build`` method that emits the
+:class:`~repro.sim.trace.Kernel` for a given system configuration and
+scale factor.  ``scale`` trades simulated input size for wall-clock time:
+1.0 is the evaluation default (sized so a full Figure 3/4 sweep runs in
+minutes of host time), smaller values are used by unit tests.
+
+All builders are deterministic: the same (config, scale) yields the same
+kernel, so runs are reproducible and comparable across configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import SystemConfig
+from repro.sim.trace import Kernel
+
+#: Deterministic seed base for workload construction.
+WORKLOAD_SEED = 3437
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One row of Table 3."""
+
+    name: str
+    kind: str  # "microbenchmark" | "benchmark"
+    input_desc: str
+    atomic_types: Tuple[str, ...]
+    description: str
+    builder: Callable[[SystemConfig, float], Kernel]
+
+    def build(self, config: SystemConfig, scale: float = 1.0) -> Kernel:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.builder(config, scale)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no workload {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> Tuple[Workload, ...]:
+    _ensure_loaded()
+    return tuple(_REGISTRY.values())
+
+
+def microbenchmarks() -> Tuple[Workload, ...]:
+    return tuple(w for w in all_workloads() if w.kind == "microbenchmark")
+
+
+def benchmarks() -> Tuple[Workload, ...]:
+    return tuple(w for w in all_workloads() if w.kind == "benchmark")
+
+
+def rng(tag: str) -> random.Random:
+    """A deterministic per-purpose random stream."""
+    return random.Random(f"{WORKLOAD_SEED}:{tag}")
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules so their register() calls run.
+
+    Guarded by a flag, not registry truthiness: importing one workload
+    module directly (e.g. for its helpers) must not suppress loading
+    the rest.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from repro.workloads import extra, micro, graphs_apps, uts  # noqa: F401

@@ -1,0 +1,156 @@
+"""Extra workloads beyond Table 3.
+
+``WorkQueue-CPU`` realizes Listing 1 literally on the integrated system:
+GPU warps produce tasks and bump the queue occupancy with SC RMWs, while
+the CPU core (the 16th mesh node) plays the service thread, polling
+occupancy with cheap unpaired loads and draining tasks when present.
+It exercises the CPU-GPU coherence path the paper's architecture
+provides and shows the unpaired-poll benefit end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import SystemConfig
+from repro.sim.trace import Compute, Kernel, Phase, ld, rmw, st
+from repro.workloads.base import Workload, register, scaled
+from repro.workloads.layout import AddressSpace
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+LOCAL = AtomicKind.PAIRED_LOCAL
+
+GPU_WARPS = 2
+
+
+def build_work_queue_cpu(config: SystemConfig, scale: float) -> Kernel:
+    if config.num_cpus < 1:
+        raise ValueError("WorkQueue-CPU needs a CPU core in the system")
+    space = AddressSpace()
+    occupancy = space.alloc("occupancy", 1)
+    tasks = space.alloc("tasks", 4096)
+
+    per_warp = scaled(12, scale)
+    kernel = Kernel("work_queue_cpu")
+    phase = Phase("produce+service")
+
+    # GPU producers.
+    produced = 0
+    for cu in range(config.num_cus):
+        for w in range(GPU_WARPS):
+            trace: List = []
+            for i in range(per_warp):
+                slot = produced % tasks.count
+                produced += 1
+                trace.append(Compute(8))  # create the task
+                trace.append(st(tasks.addr(slot), DATA))
+                trace.append(rmw(occupancy.addr(0), PAIRED))  # enqueue
+            phase.add_warp(cu, trace)
+
+    # CPU service thread (core index num_cus): Listing 1's periodicCheck.
+    cpu = config.num_cus
+    service: List = []
+    drained = 0
+    polls = produced + scaled(20, scale)
+    for p in range(polls):
+        service.append(ld(occupancy.addr(0), UNPAIRED))  # occupancy()
+        service.append(Compute(4))  # other service-thread work
+        if p % 2 == 1 and drained < produced:
+            # dequeue(): SC check, then read and execute the task.
+            service.append(rmw(occupancy.addr(0), PAIRED))
+            service.append(ld(tasks.addr(drained % tasks.count), DATA))
+            service.append(Compute(16))  # t.execute()
+            drained += 1
+    phase.add_warp(cpu, service)
+
+    kernel.phases.append(phase)
+    return kernel
+
+
+register(Workload(
+    name="WorkQueue-CPU",
+    kind="extra",
+    input_desc="GPU producers + CPU service thread (Listing 1)",
+    atomic_types=("Unpaired",),
+    description="Work queue with the CPU core as the polling service thread.",
+    builder=build_work_queue_cpu,
+))
+
+
+def build_flags_hrf(config: SystemConfig, scale: float) -> Kernel:
+    """Flags with scoped synchronization (the HRF comparator): workers
+    coordinate through a per-CU dirty flag with locally scoped paired
+    atomics, polling the global stop flag only occasionally.
+
+    Under "hrf" the local flag costs an L1 atomic; under "drf0" every
+    scoped atomic strengthens to a global paired atomic (invalidate +
+    flush + LLC atomic for GPU coherence).  DeNovo without scopes gets
+    the same locality by registering the per-CU word once.
+    """
+    space = AddressSpace()
+    stop = space.alloc("stop", 1)
+    dirty = space.alloc("dirty", config.num_cus * 16)  # per-CU flag, padded
+    polls = scaled(48, scale)
+    kernel = Kernel("flags_hrf")
+    phase = Phase("poll")
+    for cu in range(config.num_cus):
+        for w in range(4):
+            trace = []
+            local_flag = dirty.addr(cu * 16)
+            for i in range(polls):
+                trace.append(Compute(10))
+                trace.append(st(local_flag, LOCAL))  # CU-local dirty flag
+                if i % 4 == 3:
+                    trace.append(ld(stop.addr(0), PAIRED))  # global poll
+            phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_uts_hrf(config: SystemConfig, scale: float) -> Kernel:
+    """UTS with per-CU work queues and scoped queue synchronization,
+    falling back to a global steal counter every few nodes."""
+    space = AddressSpace()
+    local_occ = space.alloc("local_occ", config.num_cus * 16)
+    global_occ = space.alloc("global_occ", 1)
+    payload = space.alloc("payload", 1 << 14)
+    nodes_per_warp = scaled(10, scale)
+    kernel = Kernel("uts_hrf")
+    phase = Phase("search")
+    for cu in range(config.num_cus):
+        for w in range(4):
+            trace = []
+            occ = local_occ.addr(cu * 16)
+            for i in range(nodes_per_warp):
+                trace.append(ld(occ, LOCAL))  # local occupancy check
+                trace.append(rmw(occ, LOCAL))  # local dequeue
+                for word in range(4):
+                    trace.append(ld(payload.addr((cu * 997 + i * 16 + word) % payload.count), DATA))
+                trace.append(Compute(48))
+                trace.append(rmw(occ, LOCAL))  # local enqueue
+                if i % 4 == 3:
+                    trace.append(rmw(global_occ.addr(0), PAIRED))  # steal/termination
+            phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+register(Workload(
+    name="Flags-HRF",
+    kind="extra",
+    input_desc="per-CU dirty flags, locally scoped",
+    atomic_types=("Scoped",),
+    description="Flags with HRF locally scoped synchronization (Section 7).",
+    builder=build_flags_hrf,
+))
+register(Workload(
+    name="UTS-HRF",
+    kind="extra",
+    input_desc="per-CU work queues, locally scoped",
+    atomic_types=("Scoped",),
+    description="UTS with HRF locally scoped work queues (Section 7).",
+    builder=build_uts_hrf,
+))

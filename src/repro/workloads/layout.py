@@ -1,0 +1,50 @@
+"""A trivial address-space allocator for workload data structures.
+
+Workloads allocate named arrays in a flat global byte space; regions are
+line-aligned so distinct arrays never share cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Region:
+    name: str
+    base: int
+    count: int
+    elem_bytes: int
+
+    def addr(self, index: int) -> int:
+        if not 0 <= index < self.count:
+            raise IndexError(f"{self.name}[{index}] out of {self.count}")
+        return self.base + index * self.elem_bytes
+
+    @property
+    def size(self) -> int:
+        return self.count * self.elem_bytes
+
+
+class AddressSpace:
+    def __init__(self, base: int = 0x1000, line_bytes: int = 64):
+        self._next = base
+        self._line = line_bytes
+        self.regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, count: int, elem_bytes: int = 4) -> Region:
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if count < 1 or elem_bytes < 1:
+            raise ValueError("need positive count and element size")
+        base = self._next
+        region = Region(name, base, count, elem_bytes)
+        size = region.size
+        # Round the next base up to a line boundary.
+        self._next = base + ((size + self._line - 1) // self._line) * self._line
+        self.regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self.regions[name]

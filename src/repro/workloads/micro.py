@@ -1,0 +1,274 @@
+"""The seven microbenchmarks of Table 3.
+
+Each models one relaxed-atomic use case from Section 3, stressing the
+memory-system effect the paper designed it for: "the microbenchmarks
+have very few global data operations" and primarily exercise atomic
+overlap (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import SystemConfig
+from repro.sim.trace import Compute, Kernel, MemAccess, Phase, WaitAll, ld, rmw, st
+from repro.workloads.base import Workload, register, rng, scaled
+from repro.workloads.layout import AddressSpace
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+COMM = AtomicKind.COMMUTATIVE
+NO = AtomicKind.NON_ORDERING
+QUANTUM = AtomicKind.QUANTUM
+SPEC = AtomicKind.SPECULATIVE
+
+#: Warps each microbenchmark places on every CU.
+WARPS = 4
+#: Histogram bins (the paper uses 256 bins).
+BINS = 256
+
+
+def _each_warp(config: SystemConfig):
+    for cu in range(config.num_cus):
+        for w in range(WARPS):
+            yield cu, w
+
+
+def build_hist(config: SystemConfig, scale: float) -> Kernel:
+    """Hist (H): bin locally in the scratchpad, then merge into the
+    global histogram — few global atomics (Section 4.4)."""
+    space = AddressSpace()
+    inputs = space.alloc("input", 1 << 20)
+    bins = space.alloc("bins", BINS)
+    values = scaled(64, scale)
+    kernel = Kernel("hist")
+    phase = Phase("bin+merge")
+    stream = rng("hist")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        for i in range(values):
+            trace.append(ld(inputs.addr(((warp_id * values + i) * 16) % inputs.count), DATA))
+            trace.append(MemAccess("rmw", (i % 64) * 4, DATA, space="scratch"))
+            trace.append(Compute(2))
+        # Merge this warp's share of the local histogram into the global one.
+        merge = scaled(BINS // (config.num_cus * WARPS), scale, minimum=2)
+        for b in range(merge):
+            bin_index = (warp_id * merge + b) % BINS
+            trace.append(MemAccess("ld", bin_index * 4, DATA, space="scratch"))
+            trace.append(rmw(bins.addr(bin_index), COMM))
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_hist_global(config: SystemConfig, scale: float) -> Kernel:
+    """Hist_global (HG): every update goes straight to the shared global
+    histogram — maximum contention."""
+    space = AddressSpace()
+    inputs = space.alloc("input", 1 << 20)
+    bins = space.alloc("bins", BINS)
+    values = scaled(64, scale)
+    stream = rng("hg")
+    kernel = Kernel("hist_global")
+    phase = Phase("update")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        for i in range(values):
+            trace.append(ld(inputs.addr(((warp_id * values + i) * 16) % inputs.count), DATA))
+            trace.append(rmw(bins.addr(stream.randrange(BINS)), COMM))
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_hg_no(config: SystemConfig, scale: float) -> Kernel:
+    """HG-Non-Order (HG-NO): only the read-back of the final bins, with
+    non-ordering loads (the update portion is excluded — Section 4.4)."""
+    space = AddressSpace()
+    bins = space.alloc("bins", BINS)
+    reads = scaled(64, scale)
+    kernel = Kernel("hg_no")
+    phase = Phase("read")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        for i in range(reads):
+            trace.append(ld(bins.addr((warp_id + i * 7) % BINS), NO))
+            trace.append(Compute(2))
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_flags(config: SystemConfig, scale: float) -> Kernel:
+    """Flags: workers poll a shared stop flag (non-ordering loads) while
+    doing local work, occasionally setting a shared dirty flag
+    (commutative stores) — Listing 3."""
+    space = AddressSpace()
+    flags = space.alloc("flags", 2)  # stop, dirty
+    work = space.alloc("work", 1 << 16)
+    polls = scaled(48, scale)
+    kernel = Kernel("flags")
+    phase = Phase("poll")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        base = (warp_id * 64) % (work.count - 64)
+        for i in range(polls):
+            trace.append(ld(flags.addr(0), NO))  # poll stop
+            trace.append(Compute(10))  # local (register/scratch) work
+            if i % 8 == 7:
+                trace.append(st(flags.addr(1), COMM))  # set dirty
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_split_counter(config: SystemConfig, scale: float) -> Kernel:
+    """SplitCounter (SC): threads bump their own shard with quantum RMWs;
+    readers sum all shards with quantum loads — Listing 4."""
+    space = AddressSpace()
+    counters = space.alloc("counters", config.num_cus * WARPS)
+    increments = scaled(48, scale)
+    kernel = Kernel("split_counter")
+    phase = Phase("update+read")
+    reader = (config.num_cus - 1, WARPS - 1)
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        own = counters.addr(warp_id)
+        if (cu, w) == reader:
+            # read_split_counter: sum every shard, a few times.
+            for _ in range(max(1, increments // 12)):
+                for k in range(counters.count):
+                    trace.append(ld(counters.addr(k), QUANTUM))
+                trace.append(Compute(8))
+        else:
+            for i in range(increments):
+                trace.append(rmw(own, QUANTUM))
+                trace.append(Compute(12))  # the work being counted
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_ref_counter(config: SystemConfig, scale: float) -> Kernel:
+    """RefCounter (RC): inc/dec quantum RMWs on a pool of shared
+    reference counters, touching the referenced object in between —
+    Listing 5."""
+    space = AddressSpace()
+    refs = space.alloc("refcounts", 256)
+    objects = space.alloc("objects", 256 * 16)
+    ops = scaled(24, scale)
+    stream = rng("rc")
+    kernel = Kernel("ref_counter")
+    phase = Phase("inc-use-dec")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        for i in range(ops):
+            obj = stream.randrange(256)
+            trace.append(rmw(refs.addr(obj), QUANTUM))  # inc
+            trace.append(ld(objects.addr(obj * 16), DATA))  # use the object
+            trace.append(Compute(4))
+            trace.append(rmw(refs.addr(obj), QUANTUM))  # dec
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+def build_seqlocks(config: SystemConfig, scale: float) -> Kernel:
+    """Seqlocks (SEQ): readers bracket speculative data loads with paired
+    sequence-number accesses; one writer occasionally updates — Listing 6."""
+    locks = 8  # independent seqlock-protected objects
+    space = AddressSpace()
+    seq = space.alloc("seq", locks * 16)  # one lock word per line
+    data = space.alloc("data", locks * 16)
+    rounds = scaled(16, scale)
+    kernel = Kernel("seqlocks")
+    phase = Phase("read-mostly")
+    for cu, w in _each_warp(config):
+        trace: List = []
+        warp_id = cu * WARPS + w
+        lock = (cu % locks) * 16  # CU-local readers share a lock
+        writer = w == 0 and cu < locks  # one writer per lock
+        if writer:
+            lock = cu * 16
+            for i in range(max(1, rounds // 4)):
+                trace.append(rmw(seq.addr(lock), PAIRED))  # make odd
+                for d in range(4):
+                    trace.append(st(data.addr(lock + d), SPEC))
+                trace.append(rmw(seq.addr(lock), PAIRED))  # make even
+                trace.append(Compute(64))
+        else:
+            for i in range(rounds):
+                trace.append(ld(seq.addr(lock), PAIRED))  # seq0
+                for d in range(4):
+                    trace.append(ld(data.addr(lock + d), SPEC))  # speculative
+                trace.append(WaitAll())
+                trace.append(rmw(seq.addr(lock), PAIRED))  # read-don't-modify-write
+                trace.append(Compute(8))  # use r1..r4
+        phase.add_warp(cu, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+register(Workload(
+    name="H",
+    kind="microbenchmark",
+    input_desc="256 KB, 256 bins (scaled)",
+    atomic_types=("Commutative",),
+    description="Histogram with local scratchpad binning (Hist).",
+    builder=build_hist,
+))
+register(Workload(
+    name="HG",
+    kind="microbenchmark",
+    input_desc="256 KB, 256 bins (scaled)",
+    atomic_types=("Commutative",),
+    description="Histogram updating the shared global bins (Hist_global).",
+    builder=build_hist_global,
+))
+register(Workload(
+    name="HG-NO",
+    kind="microbenchmark",
+    input_desc="256 KB, 256 bins (scaled)",
+    atomic_types=("Non-Ordering",),
+    description="Reading final histogram bins with non-ordering loads.",
+    builder=build_hg_no,
+))
+register(Workload(
+    name="Flags",
+    kind="microbenchmark",
+    input_desc="90 thread blocks (scaled)",
+    atomic_types=("Commutative", "Non-Ordering"),
+    description="Stop/dirty flag polling (Listing 3).",
+    builder=build_flags,
+))
+register(Workload(
+    name="SC",
+    kind="microbenchmark",
+    input_desc="112 thread blocks (scaled)",
+    atomic_types=("Quantum",),
+    description="Split counter shards with quantum atomics (Listing 4).",
+    builder=build_split_counter,
+))
+register(Workload(
+    name="RC",
+    kind="microbenchmark",
+    input_desc="64 thread blocks (scaled)",
+    atomic_types=("Quantum",),
+    description="Reference counting with quantum atomics (Listing 5).",
+    builder=build_ref_counter,
+))
+register(Workload(
+    name="SEQ",
+    kind="microbenchmark",
+    input_desc="512 thread blocks (scaled)",
+    atomic_types=("Speculative",),
+    description="Seqlock readers with speculative data loads (Listing 6).",
+    builder=build_seqlocks,
+))

@@ -1,0 +1,121 @@
+"""UTS — Unbalanced Tree Search (Table 3: 16K nodes, unpaired atomics).
+
+UTS performs dynamic load balancing through a shared work queue: warps
+poll the queue's occupancy with cheap unpaired atomic loads (the Work
+Queue use case, Listing 1), dequeue nodes with SC atomics, expand them
+(data traffic + compute), and enqueue children with SC atomics.
+
+We generate a geometric unbalanced tree deterministically, run the
+queue discipline functionally to decide which warp processes which
+node, and emit the per-warp traces.  Many polls find the queue empty —
+the common case the unpaired occupancy check optimizes (Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import SystemConfig
+from repro.sim.trace import Compute, Kernel, Phase, ld, rmw, st
+from repro.workloads.base import Workload, register, rng, scaled
+from repro.workloads.layout import AddressSpace
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+
+WARPS = 4
+PAYLOAD_WORDS = 8
+
+
+def _generate_tree(num_nodes: int) -> List[int]:
+    """Children counts of a geometric unbalanced tree with ~num_nodes."""
+    stream = rng("uts-tree")
+    counts: List[int] = []
+    frontier = 1
+    total = 1
+    while total < num_nodes and frontier > 0:
+        next_frontier = 0
+        for _ in range(frontier):
+            # Geometric branching: mostly leaves, occasional wide nodes.
+            r = stream.random()
+            if r < 0.55:
+                kids = 0
+            elif r < 0.85:
+                kids = 2
+            else:
+                kids = 4
+            if total + next_frontier + kids > num_nodes:
+                kids = 0
+            counts.append(kids)
+            next_frontier += kids
+        total += next_frontier
+        frontier = next_frontier
+    counts.extend(0 for _ in range(total - len(counts)))
+    return counts
+
+
+def build_uts(config: SystemConfig, scale: float) -> Kernel:
+    num_nodes = scaled(400, scale, minimum=32)
+    children = _generate_tree(num_nodes)
+    space = AddressSpace()
+    occupancy = space.alloc("occupancy", 1)
+    queue = space.alloc("queue", max(64, len(children)))
+    payload = space.alloc("payload", max(64, len(children)) * PAYLOAD_WORDS)
+
+    num_warps = config.num_cus * WARPS
+    traces: Dict[int, List] = {i: [] for i in range(num_warps)}
+
+    # Functional replay of the work-queue discipline: round-robin the
+    # available work over warps, interleaving empty polls.
+    pending = deque([0])
+    produced = 1
+    turn = 0
+    polls_between = 1
+    while pending:
+        node = pending.popleft()
+        wid = turn % num_warps
+        turn += 1
+        t = traces[wid]
+        # Idle polls before finding work (unpaired occupancy checks).
+        for _ in range(polls_between):
+            t.append(ld(occupancy.addr(0), UNPAIRED))
+            t.append(Compute(4))
+        # Dequeue: occupancy check + SC dequeue.
+        t.append(ld(occupancy.addr(0), UNPAIRED))
+        t.append(rmw(occupancy.addr(0), PAIRED))
+        t.append(ld(queue.addr(node % queue.count), DATA))
+        # Expand the node: read payload, compute the hash work.
+        for wordi in range(PAYLOAD_WORDS):
+            t.append(ld(payload.addr((node * PAYLOAD_WORDS + wordi) % payload.count), DATA))
+        t.append(Compute(48))
+        # Enqueue children: write payloads, bump occupancy with SC RMW.
+        kids = children[node] if node < len(children) else 0
+        for _ in range(kids):
+            child = produced
+            produced += 1
+            for wordi in range(PAYLOAD_WORDS):
+                t.append(st(payload.addr((child * PAYLOAD_WORDS + wordi) % payload.count), DATA))
+            t.append(st(queue.addr(child % queue.count), DATA))
+            t.append(rmw(occupancy.addr(0), PAIRED))
+            pending.append(child)
+
+    kernel = Kernel("uts")
+    phase = Phase("search")
+    for wid, trace in traces.items():
+        if trace:
+            phase.add_warp(wid % config.num_cus, trace)
+    kernel.phases.append(phase)
+    return kernel
+
+
+register(Workload(
+    name="UTS",
+    kind="benchmark",
+    input_desc="16K nodes (scaled)",
+    atomic_types=("Unpaired",),
+    description="Unbalanced tree search with a shared work queue.",
+    builder=build_uts,
+))

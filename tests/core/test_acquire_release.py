@@ -1,0 +1,142 @@
+"""The acquire/release extension labels (beyond the paper's scope;
+motivated by its footnote 7 and Section 7)."""
+
+import pytest
+
+from repro.core.labels import (
+    ORDERED_ATOMIC_KINDS,
+    SYNC_READ_KINDS,
+    SYNC_WRITE_KINDS,
+    AtomicKind,
+    effective_kind,
+)
+from repro.core.model import check, check_all_models
+from repro.core.system_model import run_system_model
+from repro.litmus.ast import If, load, rmw, store
+from repro.litmus.library import get
+from repro.litmus.program import Program
+
+ACQ = AtomicKind.ACQUIRE
+REL = AtomicKind.RELEASE
+NO = AtomicKind.NON_ORDERING
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+
+
+class TestLabelPlumbing:
+    def test_sync_kind_sets(self):
+        assert REL in SYNC_WRITE_KINDS and PAIRED in SYNC_WRITE_KINDS
+        assert ACQ in SYNC_READ_KINDS and PAIRED in SYNC_READ_KINDS
+        assert ACQ in ORDERED_ATOMIC_KINDS and REL in ORDERED_ATOMIC_KINDS
+        assert AtomicKind.COMMUTATIVE not in ORDERED_ATOMIC_KINDS
+
+    def test_effective_kind_strengthens_under_drf0_drf1(self):
+        for kind in (ACQ, REL):
+            assert effective_kind(kind, "drf0") is PAIRED
+            assert effective_kind(kind, "drf1") is PAIRED
+            assert effective_kind(kind, "drfrlx") is kind
+
+
+class TestSemantics:
+    def test_release_acquire_creates_hb1(self):
+        result = check(get("mp_acquire_release").program, "drfrlx")
+        assert result.legal
+
+    def test_release_without_acquire_reader_races(self):
+        result = check(get("mp_release_unpaired_read").program, "drfrlx")
+        assert not result.legal
+        assert "data" in result.race_kinds
+
+    def test_seqlock_acqrel_legal_under_all_models(self):
+        for model, result in check_all_models(get("seqlocks_acqrel").program).items():
+            assert result.legal, result.summary()
+
+    def test_acquire_release_machine_stays_sc_for_legal_program(self):
+        report = run_system_model(get("mp_acquire_release").program, "drfrlx")
+        assert report.only_sc
+
+    def test_seqlock_acqrel_machine_stays_sc(self):
+        report = run_system_model(get("seqlocks_acqrel").program, "drfrlx")
+        assert report.only_sc
+
+
+class TestMachineOneSidedness:
+    def test_release_is_one_sided(self):
+        """A relaxed access after a release may complete first; the same
+        program with a paired flag cannot reorder.  (The program is
+        deliberately racy — legal programs cannot observe this.)"""
+        def program(flag_kind):
+            # The reader uses paired loads so only the writer side varies.
+            return Program(
+                "one_sided",
+                [
+                    [store("f", 1, flag_kind), store("d", 1, NO)],
+                    [load("r0", "d", PAIRED), load("r1", "f", PAIRED)],
+                ],
+            )
+
+        relaxed = run_system_model(program(REL), "drfrlx")
+        # d=1 visible while f still 0: requires d to pass the release.
+        witness = ((("d", 1), ("f", 1)), ((), (("r0", 1), ("r1", 0))))
+        assert witness in relaxed.machine_outcomes
+        strict = run_system_model(program(PAIRED), "drfrlx")
+        assert witness not in strict.machine_outcomes
+
+    def test_acquire_blocks_later_accesses(self):
+        """Nothing after an acquire may execute before it: the classic
+        MP stale-read outcome must be impossible with an acquire reader
+        even when the payload load is relaxed."""
+        p = Program(
+            "acq_blocks",
+            [
+                [store("d", 1, NO), store("f", 1, REL)],
+                [load("r1", "f", ACQ), load("r0", "d", NO)],
+            ],
+        )
+        report = run_system_model(p, "drfrlx")
+        stale = ((("d", 1), ("f", 1)), ((), (("r0", 0), ("r1", 1))))
+        # r1=1 means the release (and everything before it) happened;
+        # the acquire blocks r0, so r0 must see d=1.
+        assert stale not in report.machine_outcomes
+
+
+class TestSimulatorTreatments:
+    def test_treatments(self):
+        from repro.sim.consistency import DRF0, DRF1, DRFRLX
+
+        assert DRFRLX.treatment(ACQ) == "acquire"
+        assert DRFRLX.treatment(REL) == "release"
+        assert DRF0.treatment(ACQ) == "paired"
+        assert DRF1.treatment(REL) == "paired"
+
+    def test_release_does_not_block_warp(self):
+        from repro.sim import Kernel, Phase, run_workload
+        from repro.sim.trace import rmw as t_rmw
+
+        def kernel(kind):
+            k = Kernel("k")
+            p = Phase("p")
+            trace = []
+            for i in range(8):
+                trace.append(t_rmw(0x1000, kind))
+                trace.append(t_rmw(0x2000 + i * 256, NO))
+            p.add_warp(0, trace)
+            k.phases.append(p)
+            return k
+
+        paired = run_workload(kernel(PAIRED), "gpu", "drfrlx").cycles
+        release = run_workload(kernel(REL), "gpu", "drfrlx").cycles
+        assert release < paired
+
+    def test_acquire_invalidates_cache(self):
+        from repro.sim import Kernel, Phase, run_workload
+        from repro.sim.trace import ld as t_ld
+
+        k = Kernel("k")
+        p = Phase("p")
+        p.add_warp(0, [t_ld(0x100, DATA), t_ld(0x5000, ACQ), t_ld(0x100, DATA)])
+        k.phases.append(p)
+        res = run_workload(k, "gpu", "drfrlx")
+        # (the end-of-kernel global barrier adds one invalidate per core)
+        assert res.stats.get("l1_invalidate") >= 1
+        assert res.stats.get("l1_hit") == 0  # the reload misses again

@@ -1,0 +1,111 @@
+"""The Listing 7 transcription, and its agreement with the precise
+operation-level analysis on the litmus library."""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.herd_model import HerdModel
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.core.races import RaceAnalysis
+from repro.litmus.ast import load, rmw, store
+from repro.litmus.library import all_tests
+from repro.litmus.program import Program
+
+PAIRED = AtomicKind.PAIRED
+DATA = AtomicKind.DATA
+
+LIBRARY = all_tests()
+
+
+def herd_flag_union(program):
+    """Union of Herd illegal-race flags over all SC executions."""
+    flags = {}
+    for ex in enumerate_sc_executions(program).executions:
+        model = HerdModel(ex)
+        model.assert_sc_axioms()
+        for k, v in model.flags().items():
+            flags[k] = flags.get(k, False) or v
+    return flags
+
+
+class TestBaseRelations:
+    def _exec(self, program):
+        return enumerate_sc_executions(program).executions[0]
+
+    def test_so1_only_between_paired(self):
+        p = Program(
+            "p", [[store("x", 1, PAIRED)], [load("r", "x", PAIRED)]]
+        )
+        for ex in enumerate_sc_executions(p).executions:
+            m = HerdModel(ex)
+            if any(r.value == 1 for r in m.R):
+                assert len(m.so1) == 1
+
+    def test_so1_empty_for_data(self):
+        p = Program("p", [[store("x", 1, DATA)], [load("r", "x", DATA)]])
+        for ex in enumerate_sc_executions(p).executions:
+            assert not HerdModel(ex).so1
+
+    def test_race_is_symmetric(self):
+        p = Program("p", [[store("x", 1, DATA)], [load("r", "x", DATA)]])
+        for ex in enumerate_sc_executions(p).executions:
+            m = HerdModel(ex)
+            for a, b in m.race:
+                assert (b, a) in m.race
+
+    def test_sc_axioms_hold(self):
+        p = Program(
+            "p", [[rmw("r", "x", "add", 1)], [rmw("s", "x", "add", 1)]]
+        )
+        for ex in enumerate_sc_executions(p).executions:
+            HerdModel(ex).assert_sc_axioms()
+
+
+#: The Herd encoding approximates "the racy edge lies on an ordering path"
+#: by the *endpoints* of the path (Listing 7's inline note), which
+#: over-approximates: in figure2b it flags the benign non-ordering race
+#: because a different ordering path connects the same endpoints.  The
+#: paper acknowledges this imprecision ("requires some manual inspection");
+#: the precise operation-level analysis matches the Figure 2 prose.
+HERD_KNOWN_OVERAPPROXIMATIONS = {"figure2b"}
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+def test_herd_is_sound_wrt_precise_analysis(test):
+    """Soundness: whenever the precise checker finds an illegal race, the
+    Herd transcription flags one too (no false negatives)."""
+    result = check(test.program, "drfrlx")
+    flags = herd_flag_union(result.checked_program)
+    if not result.legal:
+        assert flags.get("illegal", False), f"{test.name}: herd missed races"
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+def test_herd_precision_outside_known_cases(test):
+    """Precision: on everything except the documented endpoint
+    approximation cases, Herd flags exactly when the precise checker does."""
+    if test.name in HERD_KNOWN_OVERAPPROXIMATIONS:
+        pytest.xfail("documented Herd endpoint over-approximation")
+    result = check(test.program, "drfrlx")
+    flags = herd_flag_union(result.checked_program)
+    assert flags.get("illegal", False) == (not result.legal), (
+        f"{test.name}: herd={flags} precise_legal={result.legal}"
+    )
+
+
+@pytest.mark.parametrize(
+    "test",
+    [t for t in LIBRARY if t.expected_race_kinds],
+    ids=[t.name for t in LIBRARY if t.expected_race_kinds],
+)
+def test_herd_flags_cover_expected_kinds(test):
+    """Every expected race class is raised by the Herd transcription.
+
+    (Herd may additionally raise overlapping classes — e.g. an observed
+    racy load can be both commutative- and speculative-flagged — so this
+    checks coverage, not equality.)"""
+    result = check(test.program, "drfrlx")
+    flags = herd_flag_union(result.checked_program)
+    for kind in test.expected_race_kinds:
+        assert flags[kind], f"{test.name}: expected {kind} flag, got {flags}"

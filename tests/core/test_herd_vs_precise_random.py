@@ -1,0 +1,99 @@
+"""Randomized agreement between the Herd transcription and the precise
+operation-level analysis on the relations both define the same way.
+
+The two implementations approximate differently only in the
+non-ordering-path machinery; the base race set, hb1, and the data /
+quantum / speculative classes must agree exactly on arbitrary programs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.herd_model import HerdModel
+from repro.core.labels import AtomicKind
+from repro.core.races import RaceAnalysis
+from repro.litmus.ast import load, rmw, store
+from repro.litmus.program import Program
+
+KINDS = (
+    AtomicKind.DATA,
+    AtomicKind.PAIRED,
+    AtomicKind.UNPAIRED,
+    AtomicKind.COMMUTATIVE,
+    AtomicKind.QUANTUM,
+    AtomicKind.SPECULATIVE,
+)
+
+
+@st.composite
+def small_programs(draw):
+    threads = []
+    for tid in range(draw(st.integers(2, 3))):
+        body = []
+        for k in range(draw(st.integers(1, 3))):
+            loc = draw(st.sampled_from(("x", "y")))
+            kind = draw(st.sampled_from(KINDS))
+            shape = draw(st.integers(0, 2))
+            if shape == 0:
+                body.append(store(loc, draw(st.integers(1, 2)), kind))
+            elif shape == 1:
+                body.append(load(f"r{tid}_{k}", loc, kind))
+            else:
+                body.append(rmw(f"r{tid}_{k}", loc, "add", 1, kind))
+        threads.append(body)
+    return Program("herd_vs_precise", threads)
+
+
+def _op_pairs_from_events(graph, relation):
+    """Lift an event-level symmetric relation to unordered operation pairs."""
+    pairs = set()
+    for a, b in relation:
+        op_a, op_b = graph.op_of(a), graph.op_of(b)
+        if op_a is not op_b:
+            pairs.add(frozenset((op_a, op_b)))
+    return pairs
+
+
+def _op_pairs_from_races(races):
+    return {frozenset((r.first, r.second)) for r in races}
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_race_sets_agree(program):
+    for execution in enumerate_sc_executions(program).executions:
+        herd = HerdModel(execution)
+        precise = RaceAnalysis(execution)
+        herd_races = _op_pairs_from_events(precise.graph, herd.race)
+        precise_races = {
+            frozenset((a, b)) for a, b in precise.races
+        }
+        assert herd_races == precise_races
+
+
+@given(small_programs())
+@settings(max_examples=40, deadline=None)
+def test_hb1_agrees(program):
+    for execution in enumerate_sc_executions(program).executions:
+        herd = HerdModel(execution)
+        precise = RaceAnalysis(execution)
+        assert herd.hb1 == precise.hb1
+
+
+@given(small_programs())
+@settings(max_examples=30, deadline=None)
+def test_data_quantum_speculative_classes_agree(program):
+    for execution in enumerate_sc_executions(program).executions:
+        herd = HerdModel(execution)
+        precise = RaceAnalysis(execution)
+        graph = precise.graph
+        assert _op_pairs_from_events(graph, herd.data_race) == _op_pairs_from_races(
+            precise.data_races
+        )
+        assert _op_pairs_from_events(graph, herd.quantum_race) == _op_pairs_from_races(
+            precise.quantum_races
+        )
+        assert _op_pairs_from_events(
+            graph, herd.speculative_race
+        ) >= _op_pairs_from_races(precise.speculative_races)

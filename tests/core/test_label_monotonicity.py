@@ -1,0 +1,98 @@
+"""Label-strengthening monotonicity (the upgrade property of §3.4.2).
+
+"Quantum differs from other types of atomics, which can safely upgrade
+to a stronger atomic type without introducing new races."
+
+For every non-quantum relaxed class: upgrading all its accesses to
+PAIRED never turns a DRFrlx-legal program illegal.  And the quantum
+exception is witnessed: upgrading a quantum access CAN create a quantum
+race with a remaining quantum access.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.litmus.ast import load, rmw, store
+from repro.litmus.program import Program
+
+NON_QUANTUM_RELAXED = (
+    AtomicKind.UNPAIRED,
+    AtomicKind.COMMUTATIVE,
+    AtomicKind.NON_ORDERING,
+    AtomicKind.SPECULATIVE,
+)
+
+LOCS = ("x", "y")
+
+
+@st.composite
+def programs_without_quantum(draw):
+    threads = []
+    for tid in range(draw(st.integers(2, 3))):
+        body = []
+        for k in range(draw(st.integers(1, 3))):
+            loc = draw(st.sampled_from(LOCS))
+            kind = draw(
+                st.sampled_from(
+                    (AtomicKind.DATA, AtomicKind.PAIRED) + NON_QUANTUM_RELAXED
+                )
+            )
+            shape = draw(st.integers(0, 2))
+            if shape == 0:
+                body.append(store(loc, draw(st.integers(1, 2)), kind))
+            elif shape == 1:
+                body.append(load(f"r{tid}_{k}", loc, kind))
+            else:
+                body.append(rmw(f"r{tid}_{k}", loc, "add", 1, kind))
+        threads.append(body)
+    return Program("mono", threads)
+
+
+@given(programs_without_quantum(), st.sampled_from(NON_QUANTUM_RELAXED))
+@settings(max_examples=50, deadline=None)
+def test_upgrading_to_paired_preserves_legality(program, upgraded_kind):
+    before = check(program, "drfrlx")
+    if not before.legal:
+        return
+    upgraded = program.relabel({upgraded_kind: AtomicKind.PAIRED})
+    after = check(upgraded, "drfrlx")
+    assert after.legal, (
+        f"upgrading {upgraded_kind} to PAIRED made a legal program "
+        f"illegal: {after.summary()}"
+    )
+
+
+@given(programs_without_quantum())
+@settings(max_examples=40, deadline=None)
+def test_upgrading_everything_to_paired_is_drf0(program):
+    """Upgrading every atomic to PAIRED yields exactly the DRF0 view."""
+    all_paired = program.relabel(
+        {kind: AtomicKind.PAIRED for kind in AtomicKind if kind is not AtomicKind.DATA}
+    )
+    assert check(all_paired, "drfrlx").legal == check(program, "drf0").legal
+
+
+def test_quantum_upgrade_can_introduce_races():
+    """The §3.4.2 exception: quantum may NOT upgrade, because the
+    remaining quantum accesses then race with a non-quantum atomic."""
+    program = Program(
+        "quantum_pair",
+        [
+            [store("c", 1, AtomicKind.QUANTUM)],
+            [load("r", "c", AtomicKind.QUANTUM)],
+        ],
+    )
+    assert check(program, "drfrlx").legal
+    # Upgrade only one side (thread 0's store) to paired:
+    upgraded = Program(
+        "quantum_pair_upgraded",
+        [
+            [store("c", 1, AtomicKind.PAIRED)],
+            [load("r", "c", AtomicKind.QUANTUM)],
+        ],
+    )
+    result = check(upgraded, "drfrlx")
+    assert not result.legal
+    assert "quantum" in result.race_kinds

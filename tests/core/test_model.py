@@ -1,0 +1,57 @@
+"""Programmer-centric checker regression: the full litmus library must
+produce the paper's verdicts under all three models (Section 3.8)."""
+
+import pytest
+
+from repro.core.model import MODELS, check, check_all_models
+from repro.litmus.library import all_tests
+
+LIBRARY = all_tests()
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+@pytest.mark.parametrize("model", MODELS)
+def test_expected_verdict(test, model):
+    result = check(test.program, model)
+    assert result.legal == test.expected_legal[model], result.summary()
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+def test_expected_drfrlx_race_kinds(test):
+    result = check(test.program, "drfrlx")
+    assert set(result.race_kinds) == set(test.expected_race_kinds), result.summary()
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+def test_model_hierarchy_without_quantum(test):
+    """For non-quantum programs: DRFrlx-legal => DRF1-legal => DRF0-legal.
+
+    (Quantum programs change under the quantum transformation, so the
+    chain is not meaningful for them.)
+    """
+    if test.program.uses_quantum():
+        pytest.skip("quantum programs are checked on Pq, not P")
+    res = check_all_models(test.program)
+    if res["drfrlx"].legal:
+        assert res["drf1"].legal
+    if res["drf1"].legal:
+        assert res["drf0"].legal
+
+
+def test_check_result_summary_mentions_program():
+    result = check(LIBRARY[0].program, "drf0")
+    assert LIBRARY[0].name in result.summary()
+    assert "DRF0" in result.summary()
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        check(LIBRARY[0].program, "tso")
+
+
+def test_witnesses_capped():
+    from repro.litmus.library import get
+
+    result = check(get("sb_data").program, "drfrlx", max_witnesses=1)
+    assert len(result.witnesses) <= 1
+    assert not result.legal

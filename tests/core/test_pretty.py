@@ -1,0 +1,53 @@
+"""Execution / witness pretty-printing."""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.core.pretty import explain, format_execution, format_race
+from repro.litmus.ast import load, store
+from repro.litmus.library import get
+from repro.litmus.program import Program
+
+
+def test_format_execution_columns():
+    p = Program("p", [[store("x", 1)], [load("r", "x")]])
+    ex = enumerate_sc_executions(p).executions[0]
+    text = format_execution(ex)
+    assert "thread 0" in text and "thread 1" in text
+    assert "W x=1" in text
+    assert "final memory: x=1" in text
+
+
+def test_format_execution_marks_events():
+    p = Program("p", [[store("x", 1)]])
+    ex = enumerate_sc_executions(p).executions[0]
+    event = ex.program_events[0]
+    assert "<<<" in format_execution(ex, mark=[event])
+
+
+def test_explain_legal_program():
+    text = explain(check(get("mp_paired").program, "drfrlx"))
+    assert "LEGAL" in text
+    assert "every SC execution is clean" in text
+
+
+def test_explain_illegal_program_shows_witness():
+    text = explain(check(get("sb_data").program, "drfrlx"))
+    assert "ILLEGAL" in text
+    assert "data race between" in text
+    assert "<<<" in text  # the racy accesses are marked
+    assert "step |" in text
+
+
+def test_explain_caps_witnesses():
+    text = explain(check(get("sb_data").program, "drfrlx"), max_witnesses=1)
+    assert "more witness(es)" in text
+
+
+def test_format_race_wording():
+    result = check(get("sb_non_ordering").program, "drfrlx")
+    words = format_race(result.witnesses[0].race)
+    assert "non_ordering race" in words
+    assert "t0" in words and "t1" in words

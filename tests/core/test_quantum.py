@@ -1,0 +1,118 @@
+"""The quantum transformation (Section 3.4)."""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.labels import AtomicKind
+from repro.core.quantum import default_domain, quantum_equivalent
+from repro.litmus.ast import BinOp, Const, If, Load, Reg, Rmw, Store, load, rmw, store
+from repro.litmus.program import Program
+
+Q = AtomicKind.QUANTUM
+
+
+def test_non_quantum_program_unchanged():
+    p = Program("p", [[store("x", 1)]])
+    assert quantum_equivalent(p) is p
+
+
+def test_quantum_load_gets_havoc_domain():
+    p = Program("p", [[load("r", "x", Q)]])
+    pq = quantum_equivalent(p, domain=(0, 5))
+    instr = pq.threads[0].body[0]
+    assert isinstance(instr, Load)
+    assert instr.havoc == (0, 5)
+
+
+def test_quantum_store_and_rmw_get_havoc():
+    p = Program("p", [[store("x", 1, Q), rmw("r", "x", "add", 1, Q)]])
+    pq = quantum_equivalent(p, domain=(0, 1))
+    st, rm = pq.threads[0].body
+    assert isinstance(st, Store) and st.havoc == (0, 1)
+    assert isinstance(rm, Rmw) and rm.havoc == (0, 1)
+
+
+def test_nested_bodies_transformed():
+    p = Program(
+        "p",
+        [[load("c", "g"), If(Reg("c"), [load("r", "x", Q)])]],
+    )
+    pq = quantum_equivalent(p, domain=(0,))
+    inner = pq.threads[0].body[1].then[0]
+    assert inner.havoc == (0,)
+
+
+def test_non_quantum_labels_untouched():
+    p = Program("p", [[store("x", 1, AtomicKind.PAIRED), load("r", "y", Q)]])
+    pq = quantum_equivalent(p, domain=(0,))
+    assert pq.threads[0].body[0].havoc == ()
+
+
+def test_default_domain_includes_constants_and_bits():
+    p = Program(
+        "p",
+        [[load("r", "x", Q), If(BinOp("==", Reg("r"), Const(7)), [store("z", 3)])]],
+        init={"w": 9},
+    )
+    dom = default_domain(p)
+    assert {0, 1, 3, 7, 9} <= set(dom)
+
+
+def test_empty_domain_rejected():
+    p = Program("p", [[load("r", "x", Q)]])
+    with pytest.raises(ValueError):
+        quantum_equivalent(p, domain=())
+
+
+def test_havoc_load_branches_per_domain_value():
+    p = Program("p", [[load("r", "x", Q)]])
+    pq = quantum_equivalent(p, domain=(0, 1, 2))
+    enum = enumerate_sc_executions(pq)
+    values = {ex.final_registers[0]["r"] for ex in enum.executions}
+    assert values == {0, 1, 2}
+
+
+def test_havoc_severs_value_flow_but_keeps_event():
+    """The quantum load still appears as a memory event (it can race),
+    but the register receives the havoc value, not the memory value."""
+    p = Program("p", [[load("r", "x", Q)]], init={"x": 42})
+    pq = quantum_equivalent(p, domain=(5,))
+    ex = enumerate_sc_executions(pq).executions[0]
+    read_events = [e for e in ex.program_events if e.is_read]
+    assert len(read_events) == 1
+    assert read_events[0].value == 42  # the event reads memory
+    assert ex.final_registers[0]["r"] == 5  # the register gets random()
+
+
+def test_havoc_store_writes_domain_value():
+    p = Program("p", [[store("x", 99, Q)]])
+    pq = quantum_equivalent(p, domain=(3, 4))
+    finals = {
+        ex.final_memory["x"] for ex in enumerate_sc_executions(pq).executions
+    }
+    assert finals == {3, 4}
+
+
+def test_havoc_rmw_returns_and_stores_random():
+    p = Program("p", [[rmw("r", "x", "add", 1, Q)]], init={"x": 10})
+    pq = quantum_equivalent(p, domain=(0, 7))
+    enum = enumerate_sc_executions(pq)
+    returned = {ex.final_registers[0]["r"] for ex in enum.executions}
+    stored = {ex.final_memory["x"] for ex in enum.executions}
+    assert returned == {0, 7}
+    assert stored == {0, 7}
+
+
+def test_latent_race_only_visible_in_pq():
+    """quantum_latent_race: SC executions of P never reach the racy store,
+    but Pq does — the reason DRFrlx checks Pq."""
+    from repro.core.model import check
+    from repro.litmus.library import get
+
+    test = get("quantum_latent_race")
+    # Under DRF1 (checked on P, quantum treated as unpaired) it is legal...
+    assert check(test.program, "drf1").legal
+    # ...but DRFrlx (checked on Pq) finds the data race.
+    result = check(test.program, "drfrlx")
+    assert not result.legal
+    assert "data" in result.race_kinds

@@ -1,0 +1,242 @@
+"""Race-class definitions (Sections 2.3.2, 3.2.3, 3.3.3, 3.4.3, 3.5.3)."""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.labels import AtomicKind
+from repro.core.races import RaceAnalysis, writes_commute
+from repro.litmus.ast import BinOp, Const, If, Reg, load, rmw, store
+from repro.litmus.program import Program
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+COMM = AtomicKind.COMMUTATIVE
+NO = AtomicKind.NON_ORDERING
+QUANTUM = AtomicKind.QUANTUM
+SPEC = AtomicKind.SPECULATIVE
+
+
+def analyses(program):
+    return [RaceAnalysis(ex) for ex in enumerate_sc_executions(program).executions]
+
+
+def union_kinds(program):
+    kinds = set()
+    for a in analyses(program):
+        for cls in ("data", "commutative", "non_ordering", "quantum", "speculative"):
+            races = a.illegal_races((cls,))
+            if races:
+                kinds.add(cls)
+    return kinds
+
+
+class TestHb1AndRaces:
+    def test_paired_so1_orders(self):
+        p = Program(
+            "mp",
+            [
+                [store("d", 1, DATA), store("f", 1, PAIRED)],
+                [load("r", "f", PAIRED), If(Reg("r"), [load("s", "d", DATA)])],
+            ],
+        )
+        for a in analyses(p):
+            assert not a.data_races
+
+    def test_unpaired_does_not_create_so1(self):
+        p = Program(
+            "mp_unpaired",
+            [
+                [store("d", 1, DATA), store("f", 1, UNPAIRED)],
+                [load("r", "f", UNPAIRED), If(Reg("r"), [load("s", "d", DATA)])],
+            ],
+        )
+        assert "data" in union_kinds(p)
+
+    def test_same_thread_conflicts_never_race(self):
+        p = Program("st", [[store("x", 1, DATA), load("r", "x", DATA)]])
+        for a in analyses(p):
+            assert not a.races
+
+    def test_init_writes_never_race(self):
+        p = Program("ld", [[load("r", "x", DATA)]], init={"x": 3})
+        for a in analyses(p):
+            assert not a.races
+
+    def test_atomic_races_are_not_data_races(self):
+        p = Program(
+            "pp",
+            [[store("x", 1, PAIRED)], [load("r", "x", PAIRED)]],
+        )
+        for a in analyses(p):
+            assert not a.data_races
+
+
+class TestCommutativity:
+    def _ops(self, program):
+        """Return (analysis, op_by_repr) for the only execution shape."""
+        ex = enumerate_sc_executions(program).executions[0]
+        a = RaceAnalysis(ex)
+        return a
+
+    def test_add_add_commute(self):
+        p = Program("aa", [[rmw("r0", "x", "add", 1, COMM)], [rmw("r1", "x", "add", 2, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_add_sub_commute(self):
+        p = Program("as", [[rmw("r0", "x", "add", 5, COMM)], [rmw("r1", "x", "sub", 2, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_or_or_commute(self):
+        p = Program("oo", [[rmw("r0", "x", "or", 4, COMM)], [rmw("r1", "x", "or", 2, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_min_min_commute(self):
+        p = Program("mm", [[rmw("r0", "x", "min", 4, COMM)], [rmw("r1", "x", "min", 2, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_exch_different_values_do_not_commute(self):
+        p = Program("ee", [[rmw("r0", "x", "exch", 4, COMM)], [rmw("r1", "x", "exch", 2, COMM)]])
+        assert "commutative" in union_kinds(p)
+
+    def test_exch_same_value_commutes(self):
+        p = Program("es", [[rmw("r0", "x", "exch", 4, COMM)], [rmw("r1", "x", "exch", 4, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_equal_stores_commute(self):
+        p = Program("ss", [[store("x", 1, COMM)], [store("x", 1, COMM)]])
+        for a in analyses(p):
+            assert not a.commutative_races
+
+    def test_unequal_stores_do_not_commute(self):
+        p = Program("su", [[store("x", 1, COMM)], [store("x", 2, COMM)]])
+        assert "commutative" in union_kinds(p)
+
+    def test_add_and_mix_does_not_commute(self):
+        p = Program("ax", [[rmw("r0", "x", "add", 1, COMM)], [rmw("r1", "x", "and", 2, COMM)]])
+        assert "commutative" in union_kinds(p)
+
+    def test_observed_value_makes_commutative_race(self):
+        p = Program(
+            "obs",
+            [
+                [rmw("r0", "x", "add", 1, COMM), store("y", Reg("r0"), DATA)],
+                [rmw("r1", "x", "add", 1, COMM)],
+            ],
+        )
+        assert "commutative" in union_kinds(p)
+
+    def test_load_racing_with_commutative_is_race(self):
+        p = Program(
+            "ld",
+            [[rmw("r0", "x", "add", 1, COMM)], [load("r1", "x", COMM)]],
+        )
+        assert "commutative" in union_kinds(p)
+
+
+class TestWritesCommuteHelper:
+    def test_loads_never_commute(self):
+        p = Program("p", [[load("r", "x", COMM)], [store("x", 1, COMM)]])
+        ex = enumerate_sc_executions(p).executions[0]
+        a = RaceAnalysis(ex)
+        ops = a.graph.operations
+        ld = next(o for o in ops if not o.has_write)
+        st_ = next(o for o in ops if o.has_write)
+        assert not writes_commute(ld, st_, ex.rmw_info)
+
+    def test_different_locations_vacuously_commute(self):
+        p = Program("p", [[store("x", 1, COMM)], [store("y", 2, COMM)]])
+        ex = enumerate_sc_executions(p).executions[0]
+        a = RaceAnalysis(ex)
+        op_x, op_y = a.graph.operations
+        assert writes_commute(op_x, op_y, ex.rmw_info)
+
+
+class TestQuantumRaces:
+    def test_quantum_with_quantum_is_fine(self):
+        p = Program("qq", [[store("x", 1, QUANTUM)], [load("r", "x", QUANTUM)]])
+        for a in analyses(p):
+            assert not a.quantum_races
+
+    def test_quantum_with_non_quantum_races(self):
+        p = Program("qn", [[store("x", 1, QUANTUM)], [load("r", "x", UNPAIRED)]])
+        assert "quantum" in union_kinds(p)
+
+    def test_quantum_ordered_by_hb1_no_race(self):
+        p = Program(
+            "qh",
+            [
+                [store("x", 1, QUANTUM), store("f", 1, PAIRED)],
+                [load("r", "f", PAIRED), If(Reg("r"), [load("s", "x", DATA)])],
+            ],
+        )
+        for a in analyses(p):
+            assert not a.quantum_races
+
+
+class TestSpeculativeRaces:
+    def test_store_store_speculative_race(self):
+        p = Program("ww", [[store("x", 1, SPEC)], [store("x", 2, SPEC)]])
+        assert "speculative" in union_kinds(p)
+
+    def test_unobserved_speculative_load_ok(self):
+        p = Program("ro", [[store("x", 1, SPEC)], [load("r", "x", SPEC)]])
+        for a in analyses(p):
+            assert not a.speculative_races
+
+    def test_observed_speculative_load_races(self):
+        p = Program(
+            "rob",
+            [[store("x", 1, SPEC)], [load("r", "x", SPEC), store("y", Reg("r"), DATA)]],
+        )
+        assert "speculative" in union_kinds(p)
+
+    def test_control_observation_counts(self):
+        p = Program(
+            "roc",
+            [[store("x", 1, SPEC)],
+             [load("r", "x", SPEC), If(Reg("r"), [store("y", 1, DATA)])]],
+        )
+        assert "speculative" in union_kinds(p)
+
+
+class TestNonOrderingRaces:
+    def test_figure2a_shape(self):
+        p = Program(
+            "f2a",
+            [
+                [store("x", 3, UNPAIRED), store("y", 2, NO)],
+                [load("r1", "y", NO), load("r2", "x", UNPAIRED)],
+            ],
+        )
+        assert union_kinds(p) == {"non_ordering"}
+
+    def test_figure2b_shape_absolved(self):
+        p = Program(
+            "f2b",
+            [
+                [store("x", 3, UNPAIRED), store("z", 1, PAIRED), store("y", 2, NO)],
+                [load("r1", "y", NO), load("r0", "z", PAIRED), load("r2", "x", UNPAIRED)],
+            ],
+        )
+        assert union_kinds(p) == set()
+
+    def test_isolated_non_ordering_race_is_benign(self):
+        p = Program(
+            "iso",
+            [[store("y", 1, NO)], [load("r", "y", NO)]],
+        )
+        assert union_kinds(p) == set()
+
+    def test_same_address_chain_is_valid_path(self):
+        # All traffic on one location: per-location SC backs the ordering.
+        p = Program(
+            "chain",
+            [[store("y", 1, NO), store("y", 2, NO)], [load("r0", "y", NO), load("r1", "y", NO)]],
+        )
+        assert union_kinds(p) == set()

@@ -1,0 +1,138 @@
+"""Unit and property tests for the relational algebra substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import Relation, at_least_one, identity, product, union_all
+
+pairs_st = st.frozensets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12
+)
+rel_st = pairs_st.map(Relation)
+
+
+class TestBasics:
+    def test_empty_relation_is_falsy(self):
+        assert not Relation()
+        assert len(Relation()) == 0
+
+    def test_membership_and_iteration(self):
+        r = Relation([(1, 2), (2, 3)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+        assert sorted(r) == [(1, 2), (2, 3)]
+
+    def test_equality_and_hash(self):
+        assert Relation([(1, 2)]) == Relation({(1, 2)})
+        assert hash(Relation([(1, 2)])) == hash(Relation([(1, 2)]))
+
+    def test_union_intersection_difference(self):
+        a = Relation([(1, 2), (2, 3)])
+        b = Relation([(2, 3), (3, 4)])
+        assert a | b == Relation([(1, 2), (2, 3), (3, 4)])
+        assert a & b == Relation([(2, 3)])
+        assert a - b == Relation([(1, 2)])
+
+    def test_compose(self):
+        a = Relation([(1, 2), (2, 3)])
+        b = Relation([(2, 10), (3, 11)])
+        assert a.compose(b) == Relation([(1, 10), (2, 11)])
+
+    def test_compose_empty(self):
+        assert Relation([(1, 2)]).compose(Relation()) == Relation()
+
+    def test_inverse(self):
+        assert Relation([(1, 2)]).inverse() == Relation([(2, 1)])
+
+    def test_transitive_closure_chain(self):
+        r = Relation([(1, 2), (2, 3), (3, 4)])
+        closure = r.transitive_closure()
+        assert (1, 4) in closure
+        assert (1, 3) in closure
+        assert (4, 1) not in closure
+
+    def test_transitive_closure_cycle(self):
+        r = Relation([(1, 2), (2, 1)])
+        closure = r.transitive_closure()
+        assert (1, 1) in closure
+        assert not closure.is_acyclic()
+
+    def test_acyclic(self):
+        assert Relation([(1, 2), (2, 3)]).is_acyclic()
+        assert not Relation([(1, 1)]).is_acyclic()
+
+    def test_restrict(self):
+        r = Relation([(1, 2), (2, 3), (3, 1)])
+        assert r.restrict({1, 2}, {2, 3}) == Relation([(1, 2), (2, 3)])
+
+    def test_domain_codomain_elements(self):
+        r = Relation([(1, 2), (3, 4)])
+        assert r.domain() == {1, 3}
+        assert r.codomain() == {2, 4}
+        assert r.elements() == {1, 2, 3, 4}
+
+    def test_successors(self):
+        r = Relation([(1, 2), (1, 3), (2, 4)])
+        assert r.successors(1) == {2, 3}
+        assert r.successors(9) == frozenset()
+
+    def test_filter(self):
+        r = Relation([(1, 2), (2, 1)])
+        assert r.filter(lambda a, b: a < b) == Relation([(1, 2)])
+
+    def test_product(self):
+        assert product({1}, {2, 3}) == Relation([(1, 2), (1, 3)])
+
+    def test_at_least_one(self):
+        rel = at_least_one({1}, {1, 2})
+        assert (1, 2) in rel and (2, 1) in rel and (1, 1) in rel
+        assert (2, 2) not in rel
+
+    def test_identity_and_union_all(self):
+        assert identity([1, 2]) == Relation([(1, 1), (2, 2)])
+        assert union_all([Relation([(1, 2)]), Relation([(3, 4)])]) == Relation(
+            [(1, 2), (3, 4)]
+        )
+
+    def test_reflexive_closure_over(self):
+        r = Relation([(1, 2)])
+        assert r.reflexive_closure_over([1, 2, 3]) == Relation(
+            [(1, 2), (1, 1), (2, 2), (3, 3)]
+        )
+
+
+class TestAlgebraicLaws:
+    @given(rel_st, rel_st, rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_associative(self, a, b, c):
+        assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+    @given(rel_st, rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_of_compose(self, a, b):
+        assert a.compose(b).inverse() == b.inverse().compose(a.inverse())
+
+    @given(rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_closure_idempotent(self, r):
+        once = r.transitive_closure()
+        assert once.transitive_closure() == once
+
+    @given(rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_closure_contains_relation_and_is_transitive(self, r):
+        closure = r.transitive_closure()
+        assert r.pairs <= closure.pairs
+        assert closure.compose(closure).pairs <= closure.pairs
+
+    @given(rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_double_inverse(self, r):
+        assert r.inverse().inverse() == r
+
+    @given(rel_st, rel_st)
+    @settings(max_examples=60, deadline=None)
+    def test_union_commutative_intersection_distributes(self, a, b):
+        assert a | b == b | a
+        assert a & b == b & a

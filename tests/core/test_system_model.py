@@ -1,0 +1,81 @@
+"""System-centric machine: Theorem 3.1 validation (Section 3.8).
+
+"The system-centric model can only produce non-SC executions when the
+model allows it (i.e., when there is an illegal race or when quantum
+atomics are used)."
+"""
+
+import pytest
+
+from repro.core.model import MODELS, check
+from repro.core.system_model import run_system_model
+from repro.litmus.library import all_tests, get
+
+LIBRARY = all_tests()
+
+
+@pytest.mark.parametrize("test", LIBRARY, ids=[t.name for t in LIBRARY])
+@pytest.mark.parametrize("model", MODELS)
+def test_theorem_3_1(test, model):
+    """Legal non-quantum programs stay SC on the compliant machine:
+    their *results* (final memory states, Section 3.2.2) are always SC;
+    without speculative atomics, even final registers are."""
+    from repro.core.labels import AtomicKind
+
+    report = run_system_model(test.program, model)
+    if test.expected_legal[model] and not test.program.uses_quantum():
+        assert report.only_sc_results, (
+            f"{test.name} under {model}: non-SC results "
+            f"{sorted(report.non_sc_results)[:3]}"
+        )
+        if AtomicKind.SPECULATIVE not in test.program.kinds_used():
+            assert report.only_sc, (
+                f"{test.name} under {model}: non-SC outcomes "
+                f"{sorted(report.non_sc_outcomes)[:3]}"
+            )
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["sb_data", "sb_non_ordering", "mp_data", "figure2a", "split_counter"],
+)
+def test_relaxation_is_observable(name):
+    """The machine is genuinely weaker than SC where the model permits:
+    these programs must exhibit at least one non-SC outcome under DRFrlx."""
+    report = run_system_model(get(name).program, "drfrlx")
+    assert not report.only_sc
+
+
+def test_sb_non_ordering_sc_under_drf1():
+    """DRF1 keeps (relabeled-unpaired) atomics in program order, so the
+    store-buffering outcome is not observable under DRF1 —
+    exactly why sb_non_ordering is a legal DRF1 program."""
+    report = run_system_model(get("sb_non_ordering").program, "drf1")
+    assert report.only_sc
+
+
+def test_machine_outcomes_superset_of_sc():
+    """The relaxed machine can always produce every SC outcome."""
+    for name in ["sb_paired", "mp_paired", "figure2b"]:
+        report = run_system_model(get(name).program, "drfrlx")
+        assert report.sc_outcomes <= report.machine_outcomes
+
+
+def test_figure2b_machine_is_sc():
+    """The paired Z accesses must be enforced as a full fence; RC-style
+    acquire/release would leak a non-SC outcome here."""
+    report = run_system_model(get("figure2b").program, "drfrlx")
+    assert report.only_sc
+
+
+def test_quantum_split_counter_shows_reordering():
+    report = run_system_model(get("split_counter").program, "drfrlx")
+    assert not report.only_sc  # quantum atomics overlap/reorder
+
+
+def test_report_fields():
+    report = run_system_model(get("sb_paired").program, "drf0")
+    assert report.program_name == "sb_paired"
+    assert report.model == "drf0"
+    assert report.machine_outcomes
+    assert report.sc_outcomes

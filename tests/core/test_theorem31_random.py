@@ -1,0 +1,115 @@
+"""Randomized end-to-end validation of Theorem 3.1.
+
+For arbitrary small programs with random labels, the chain must hold:
+
+    DRFrlx-legal (programmer-centric, on Pq)  and  no quantum atomics
+        =>  the compliant relaxed machine produces only SC outcomes.
+
+This exercises the enumerator, all five race classifiers, the valid-path
+analysis, and the system-centric machine against each other — any
+unsound relaxation in the machine or missed race in the checker shows up
+as a counterexample program.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.core.system_model import run_system_model
+from repro.litmus.ast import load, rmw, store
+from repro.litmus.program import Program
+
+LOCS = ("x", "y")
+KINDS = (
+    AtomicKind.DATA,
+    AtomicKind.PAIRED,
+    AtomicKind.UNPAIRED,
+    AtomicKind.COMMUTATIVE,
+    AtomicKind.NON_ORDERING,
+    AtomicKind.SPECULATIVE,
+    AtomicKind.ACQUIRE,
+    AtomicKind.RELEASE,
+)
+
+
+@st.composite
+def labelled_programs(draw):
+    n_threads = draw(st.integers(2, 3))
+    threads = []
+    for tid in range(n_threads):
+        n_ops = draw(st.integers(1, 3))
+        body = []
+        for k in range(n_ops):
+            loc = draw(st.sampled_from(LOCS))
+            kind = draw(st.sampled_from(KINDS))
+            shape = draw(st.integers(0, 2))
+            if shape == 0:
+                body.append(store(loc, draw(st.integers(1, 2)), kind))
+            elif shape == 1:
+                body.append(load(f"r{tid}_{k}", loc, kind))
+            else:
+                body.append(rmw(f"r{tid}_{k}", loc, "add", 1, kind))
+        threads.append(body)
+    return Program("random_t31", threads)
+
+
+@given(labelled_programs())
+@settings(max_examples=60, deadline=None)
+def test_theorem_3_1_on_random_programs(program):
+    """Legal => every machine *result* (final memory state, the paper's
+    Section 3.2.2 definition) is an SC result.
+
+    The memory-state definition matters: hypothesis found a legal
+    program with a racy-but-unobserved speculative RMW whose machine
+    execution differs from SC only in never-used registers — exactly
+    the situation the paper's result redefinition exists to permit.
+    """
+    result = check(program, "drfrlx")
+    if not result.legal:
+        return  # the theorem promises nothing for illegal programs
+    report = run_system_model(program, "drfrlx")
+    assert report.only_sc_results, (
+        f"DRFrlx-legal program produced a non-SC memory state:\n"
+        f"  threads={program.threads}\n"
+        f"  non-SC results={sorted(report.non_sc_results)[:3]}"
+    )
+    # Without speculative atomics, even the register-inclusive view
+    # must stay SC (any register could have been stored to memory).
+    if AtomicKind.SPECULATIVE not in program.kinds_used():
+        assert report.only_sc, (
+            f"non-SC registers without speculative atomics:\n"
+            f"  threads={program.threads}\n"
+            f"  non-SC outcomes={sorted(report.non_sc_outcomes)[:3]}"
+        )
+
+
+@given(labelled_programs())
+@settings(max_examples=40, deadline=None)
+def test_drf1_machine_respects_drf1_legality(program):
+    """Same chain one level down: DRF1-legal programs stay SC on the
+    DRF1 machine (the original Adve-Hill guarantee)."""
+    result = check(program, "drf1")
+    if not result.legal:
+        return
+    report = run_system_model(program, "drf1")
+    assert report.only_sc
+
+
+@given(labelled_programs())
+@settings(max_examples=40, deadline=None)
+def test_drf0_machine_respects_drf0_legality(program):
+    result = check(program, "drf0")
+    if not result.legal:
+        return
+    report = run_system_model(program, "drf0")
+    assert report.only_sc
+
+
+@given(labelled_programs())
+@settings(max_examples=40, deadline=None)
+def test_machine_can_reach_every_sc_outcome(program):
+    """Completeness direction: the relaxed machine is no *stronger* than
+    SC — every SC outcome is reachable."""
+    report = run_system_model(program, "drfrlx")
+    assert report.sc_outcomes <= report.machine_outcomes

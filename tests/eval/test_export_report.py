@@ -1,0 +1,64 @@
+"""CSV export and the utilization report."""
+
+import csv
+import io
+
+import pytest
+
+from repro.eval.export import energy_csv, series_csv, speedup_csv, time_csv
+from repro.eval.harness import CONFIG_ORDER, run_sweep
+from repro.sim.report import run_with_report
+from repro.workloads import get
+from repro.sim.config import INTEGRATED
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(["HG"], scale=0.2)
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestCsv:
+    def test_time_csv(self, sweep):
+        rows = _parse(time_csv(sweep))
+        assert rows[0] == ["workload", *CONFIG_ORDER]
+        assert rows[1][0] == "HG"
+        assert float(rows[1][1]) == pytest.approx(1.0)  # GD0 normalized
+
+    def test_energy_csv(self, sweep):
+        rows = _parse(energy_csv(sweep))
+        assert rows[0][:2] == ["workload", "config"]
+        assert len(rows) == 1 + 6  # header + six configs
+        gd0 = next(r for r in rows[1:] if r[1] == "GD0")
+        assert float(gd0[-1]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_speedup_csv(self):
+        rows = _parse(speedup_csv({"PR-1": 3.2}))
+        assert rows == [["workload", "speedup"], ["PR-1", "3.2000"]]
+
+    def test_series_csv(self):
+        rows = _parse(series_csv({"GD0": [(16, 100.0)]}, "bins"))
+        assert rows == [["config", "bins", "cycles"], ["GD0", "16", "100.0"]]
+
+
+class TestReport:
+    def test_report_contents(self):
+        kernel = get("HG").build(INTEGRATED, scale=0.2)
+        result, report = run_with_report(kernel, "denovo", "drfrlx")
+        assert "hit rate" in report
+        assert "busiest resources" in report
+        assert "remote L1 transfers" in report
+        assert f"{result.cycles:.0f} cycles" in report
+
+    def test_report_ranks_resources(self):
+        kernel = get("HG").build(INTEGRATED, scale=0.2)
+        _, report = run_with_report(kernel, "gpu", "drf0", top=3)
+        resource_lines = [
+            l for l in report.splitlines() if l.strip().startswith(("l2-", "dram", "issue", "l1-"))
+        ]
+        assert len(resource_lines) == 3
+        busys = [float(l.split("busy=")[1].split("(")[0]) for l in resource_lines]
+        assert busys == sorted(busys, reverse=True)

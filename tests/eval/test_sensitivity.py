@@ -1,0 +1,38 @@
+"""Sensitivity-study machinery."""
+
+import pytest
+
+from repro.eval.sensitivity import (
+    _hg_kernel,
+    histogram_sensitivity,
+    trends_stable,
+    warp_sensitivity,
+)
+from repro.sim.config import INTEGRATED
+
+
+def test_hg_kernel_scales_with_bins():
+    small = _hg_kernel(INTEGRATED, bins=4, updates_per_warp=8, warps=1)
+    assert small.total_ops() > 0
+    assert "bins=4" in small.name
+
+
+def test_histogram_sensitivity_shape():
+    series = histogram_sensitivity(bin_counts=(8, 32), updates_per_warp=8, warps=2)
+    assert set(series) == {"GD0", "GD1", "GDR", "DD0", "DD1", "DDR"}
+    for values in series.values():
+        assert [b for b, _ in values] == [8, 32]
+        assert all(c > 0 for _, c in values)
+
+
+def test_warp_sensitivity_shape():
+    series = warp_sensitivity(warp_counts=(1, 2), updates_per_warp=8)
+    assert set(series) == {"GD0", "GDR"}
+
+
+def test_trends_stable_helper():
+    stable = {
+        "GD0": [(16, 100.0), (64, 90.0)],
+        "GDR": [(16, 50.0), (64, 45.0)],
+    }
+    assert trends_stable(stable)

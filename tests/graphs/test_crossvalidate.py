@@ -1,0 +1,62 @@
+"""Cross-validate the graph substrate and the BC/PR functional models
+against networkx (available offline as a reference implementation)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.synth import circuit_graph, mesh_graph, power_law_graph, road_graph
+from repro.workloads.graphs_apps import _bfs_levels
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u in range(graph.num_vertices):
+        for v in graph.adj(u):
+            g.add_edge(u, v)
+    return g
+
+
+@pytest.mark.parametrize(
+    "gen", [road_graph, mesh_graph, power_law_graph, circuit_graph]
+)
+class TestAgainstNetworkx:
+    def test_edge_counts_agree(self, gen):
+        ours = gen(120)
+        theirs = to_networkx(ours)
+        assert theirs.number_of_edges() == ours.num_edges
+
+    def test_bfs_levels_match(self, gen):
+        ours = gen(120)
+        theirs = to_networkx(ours)
+        levels = _bfs_levels(ours, source=0)
+        nx_depth = nx.single_source_shortest_path_length(theirs, 0)
+        for depth, frontier in enumerate(levels):
+            for v in frontier:
+                assert nx_depth[v] == depth
+        # Every reachable vertex appears in exactly one level.
+        flattened = [v for frontier in levels for v in frontier]
+        assert sorted(flattened) == sorted(nx_depth)
+
+    def test_degree_distribution_matches(self, gen):
+        ours = gen(120)
+        theirs = to_networkx(ours)
+        for v in range(ours.num_vertices):
+            assert theirs.out_degree(v) == ours.out_degree(v)
+
+
+def test_power_law_hubs_vs_networkx_centrality():
+    """Our hub vertices should be the high-degree-centrality vertices."""
+    ours = power_law_graph(200)
+    theirs = to_networkx(ours)
+    centrality = nx.degree_centrality(theirs)
+    top_ours = max(range(ours.num_vertices), key=ours.out_degree)
+    top_theirs = max(centrality, key=centrality.get)
+    assert top_ours == top_theirs
+
+
+def test_road_graph_mostly_connected():
+    ours = road_graph(400)
+    theirs = to_networkx(ours).to_undirected()
+    largest = max(nx.connected_components(theirs), key=len)
+    assert len(largest) > ours.num_vertices * 0.9

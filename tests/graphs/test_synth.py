@@ -1,0 +1,85 @@
+"""Synthetic graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.synth import (
+    Graph,
+    bc_inputs,
+    circuit_graph,
+    mesh_graph,
+    power_law_graph,
+    pr_inputs,
+    road_graph,
+)
+
+GENERATORS = [road_graph, mesh_graph, power_law_graph, circuit_graph]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_generators_produce_valid_graphs(gen):
+    g = gen(100)
+    g.validate()
+    assert g.num_vertices > 0
+    assert g.num_edges > 0
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_deterministic(gen):
+    a, b = gen(100), gen(100)
+    assert a.offsets == b.offsets
+    assert a.neighbors == b.neighbors
+
+
+def test_road_graph_sparse_long_diameter():
+    g = road_graph(400)
+    avg_deg = g.num_edges / g.num_vertices
+    assert avg_deg < 5.0
+
+
+def test_mesh_graph_regular():
+    g = mesh_graph(400)
+    interior_degrees = [g.out_degree(v) for v in range(g.num_vertices)]
+    assert max(interior_degrees) == 8
+
+
+def test_power_law_has_hubs():
+    g = power_law_graph(300)
+    degrees = sorted((g.out_degree(v) for v in range(g.num_vertices)), reverse=True)
+    assert degrees[0] > 5 * (g.num_edges / g.num_vertices)
+
+
+def test_circuit_has_high_fanout_nets():
+    g = circuit_graph(300)
+    degrees = [g.out_degree(v) for v in range(g.num_vertices)]
+    assert max(degrees) >= 300 // 10
+
+
+def test_adj_and_degree_agree():
+    g = mesh_graph(100)
+    for v in range(g.num_vertices):
+        assert len(g.adj(v)) == g.out_degree(v)
+
+
+def test_validate_catches_corruption():
+    g = mesh_graph(50)
+    bad = Graph(g.name, g.num_vertices, g.offsets, g.neighbors + (10 ** 6,))
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_input_families():
+    bc = bc_inputs(0.3)
+    pr = pr_inputs(0.3)
+    assert set(bc) == {1, 2, 3, 4}
+    assert set(pr) == {1, 2, 3, 4}
+    for g in list(bc.values()) + list(pr.values()):
+        g.validate()
+
+
+@given(st.integers(30, 200))
+@settings(max_examples=15, deadline=None)
+def test_all_families_valid_across_sizes(n):
+    for gen in GENERATORS:
+        gen(n).validate()

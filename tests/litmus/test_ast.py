@@ -1,0 +1,149 @@
+"""Instruction AST: expressions, locations, instruction validation."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import (
+    Assign,
+    BinOp,
+    Const,
+    Fence,
+    If,
+    LitmusError,
+    Load,
+    Loc,
+    LocSelect,
+    Not,
+    Reg,
+    Rmw,
+    Store,
+    Value,
+    While,
+    as_expr,
+    as_location,
+    load,
+    memory_instructions,
+    rmw,
+    store,
+)
+
+
+class TestExpressions:
+    def test_const(self):
+        assert Const(5).evaluate({}).val == 5
+        assert Const(5).registers() == frozenset()
+
+    def test_reg(self):
+        regs = {"r": Value(3, frozenset({9}))}
+        v = Reg("r").evaluate(regs)
+        assert v.val == 3 and v.taint == {9}
+
+    def test_unset_register_raises(self):
+        with pytest.raises(LitmusError):
+            Reg("r").evaluate({})
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5), ("-", 5, 2, 3), ("*", 4, 3, 12),
+            ("&", 6, 3, 2), ("|", 4, 1, 5), ("^", 5, 3, 6),
+            ("%", 7, 3, 1), ("==", 2, 2, 1), ("!=", 2, 2, 0),
+            ("<", 1, 2, 1), (">", 1, 2, 0), ("<=", 2, 2, 1), (">=", 1, 2, 0),
+        ],
+    )
+    def test_binops(self, op, a, b, expected):
+        assert BinOp(op, Const(a), Const(b)).evaluate({}).val == expected
+
+    def test_modulo_by_zero_is_zero(self):
+        assert BinOp("%", Const(5), Const(0)).evaluate({}).val == 0
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(LitmusError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_binop_merges_taint(self):
+        regs = {"a": Value(1, frozenset({1})), "b": Value(2, frozenset({2}))}
+        v = BinOp("+", Reg("a"), Reg("b")).evaluate(regs)
+        assert v.taint == {1, 2}
+
+    def test_not(self):
+        assert Not(Const(0)).evaluate({}).val == 1
+        assert Not(Const(3)).evaluate({}).val == 0
+
+    def test_as_expr_coercions(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr("r") == Reg("r")
+        e = BinOp("+", Const(1), Const(2))
+        assert as_expr(e) is e
+
+
+class TestLocations:
+    def test_loc_resolve(self):
+        name, taint = Loc("x").resolve({})
+        assert name == "x" and taint == frozenset()
+
+    def test_loc_select_resolves_by_index(self):
+        regs = {"i": Value(1, frozenset({4}))}
+        name, taint = LocSelect(("a", "b"), Reg("i")).resolve(regs)
+        assert name == "b" and taint == {4}
+
+    def test_loc_select_out_of_range(self):
+        with pytest.raises(LitmusError):
+            LocSelect(("a",), Const(3)).resolve({})
+
+    def test_as_location(self):
+        assert as_location("x") == Loc("x")
+        sel = LocSelect(("a", "b"), Const(0))
+        assert as_location(sel) is sel
+
+
+class TestInstructions:
+    def test_load_defaults_to_data(self):
+        assert load("r", "x").kind is AtomicKind.DATA
+
+    def test_rmw_unknown_op_rejected(self):
+        with pytest.raises(LitmusError):
+            rmw("r", "x", "nand", 1)
+
+    def test_cas_requires_desired(self):
+        with pytest.raises(LitmusError):
+            Rmw("r", Loc("x"), "cas", Const(0))
+
+    @pytest.mark.parametrize(
+        "op,old,operand,expected",
+        [
+            ("add", 5, 3, 8), ("sub", 5, 3, 2), ("and", 6, 3, 2),
+            ("or", 4, 1, 5), ("xor", 5, 3, 6), ("exch", 5, 9, 9),
+            ("min", 5, 3, 3), ("max", 5, 3, 5),
+        ],
+    )
+    def test_rmw_apply(self, op, old, operand, expected):
+        instr = rmw("r", "x", op, operand)
+        assert instr.apply(old, operand, None) == expected
+
+    def test_cas_apply(self):
+        instr = rmw("r", "x", "cas", 5, operand2=9)
+        assert instr.apply(5, 5, 9) == 9
+        assert instr.apply(4, 5, 9) == 4
+
+    def test_if_coerces_condition(self):
+        i = If("r", [store("x", 1)])
+        assert i.cond == Reg("r")
+        assert i.orelse == ()
+
+    def test_while_bound(self):
+        w = While(Const(1), [store("x", 1)], max_iters=7)
+        assert w.max_iters == 7
+
+    def test_memory_instructions_walks_nested(self):
+        body = [
+            store("a", 1),
+            If(Const(1), [load("r", "b")], [store("c", 2)]),
+            While(Const(0), [rmw("q", "d", "add", 1)]),
+            Assign("z", Const(0)),
+            Fence(),
+        ]
+        names = sorted(
+            i.loc.possible_names()[0] for i in memory_instructions(body)
+        )
+        assert names == ["a", "b", "c", "d"]

@@ -1,0 +1,47 @@
+"""The DSL litmus corpus: every file parses and meets its header verdicts."""
+
+import pytest
+
+from repro.core.model import check
+from repro.litmus.corpus import CORPUS_DIR, CorpusEntry, load_corpus
+
+CORPUS = load_corpus()
+
+
+def test_corpus_nonempty():
+    assert len(CORPUS) >= 10
+
+
+def test_every_entry_declares_expectations():
+    for entry in CORPUS:
+        assert set(entry.expectations) == {"drf0", "drf1", "drfrlx"}, entry.name
+
+
+def test_names_unique():
+    names = [e.name for e in CORPUS]
+    assert len(set(names)) == len(names)
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=[e.name for e in CORPUS])
+def test_corpus_verdicts(entry):
+    for model, (legal, kinds) in entry.expectations.items():
+        result = check(entry.program, model)
+        assert result.legal == legal, (
+            f"{entry.name} under {model}: {result.summary()}"
+        )
+        if not legal and kinds:
+            assert set(kinds) <= set(result.race_kinds), (
+                f"{entry.name} under {model}: expected kinds {kinds}, "
+                f"got {result.race_kinds}"
+            )
+
+
+def test_expectation_parser():
+    from repro.litmus.corpus import _parse_expectations
+
+    parsed = _parse_expectations(
+        "# expect: drf0=legal drf1=illegal(data) drfrlx=illegal(data,quantum)"
+    )
+    assert parsed["drf0"] == (True, ())
+    assert parsed["drf1"] == (False, ("data",))
+    assert parsed["drfrlx"] == (False, ("data", "quantum"))

@@ -1,0 +1,190 @@
+"""The litmus text DSL parser."""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.litmus.ast import Assign, BinOp, Fence, If, Load, Not, Rmw, Store, While
+from repro.litmus.dsl import DslError, parse
+
+
+class TestHeader:
+    def test_name_and_init(self):
+        p = parse("""
+            name: demo
+            init: x=5 y=-1
+            thread:
+              r0 = ld x
+        """)
+        assert p.name == "demo"
+        assert p.initial_value("x") == 5
+        assert p.initial_value("y") == -1
+
+    def test_defaults(self):
+        p = parse("thread:\n st x 1")
+        assert p.name == "litmus"
+        assert p.initial_value("x") == 0
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(DslError):
+            parse("name: empty")
+
+    def test_statement_outside_thread_rejected(self):
+        with pytest.raises(DslError):
+            parse("st x 1")
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(DslError):
+            parse("init: x=oops\nthread:\n st x 1")
+
+    def test_comments_ignored(self):
+        p = parse("""
+            # a comment
+            thread:
+              st x 1   # trailing comment
+        """)
+        assert isinstance(p.threads[0].body[0], Store)
+
+
+class TestStatements:
+    def body(self, text):
+        return parse(f"thread:\n{text}").threads[0].body
+
+    def test_store_with_kind(self):
+        (instr,) = self.body("  st flag 1 paired")
+        assert isinstance(instr, Store)
+        assert instr.kind is AtomicKind.PAIRED
+
+    def test_store_default_data(self):
+        (instr,) = self.body("  st x 42")
+        assert instr.kind is AtomicKind.DATA
+
+    def test_kind_aliases(self):
+        for alias, kind in (
+            ("sc", AtomicKind.PAIRED),
+            ("comm", AtomicKind.COMMUTATIVE),
+            ("no", AtomicKind.NON_ORDERING),
+            ("spec", AtomicKind.SPECULATIVE),
+        ):
+            (instr,) = self.body(f"  st x 1 {alias}")
+            assert instr.kind is kind, alias
+
+    def test_load(self):
+        (instr,) = self.body("  r0 = ld flag unpaired")
+        assert isinstance(instr, Load)
+        assert instr.dst == "r0"
+        assert instr.kind is AtomicKind.UNPAIRED
+
+    def test_rmw(self):
+        (instr,) = self.body("  old = rmw ctr add 1 comm")
+        assert isinstance(instr, Rmw)
+        assert instr.op == "add"
+        assert instr.kind is AtomicKind.COMMUTATIVE
+
+    def test_cas(self):
+        (instr,) = self.body("  old = cas lock 0 1 paired")
+        assert instr.op == "cas"
+        assert instr.operand2 is not None
+
+    def test_assign_expr(self):
+        (instr,) = self.body("  s = a + b")
+        assert isinstance(instr, Assign)
+        assert isinstance(instr.expr, BinOp)
+
+    def test_assign_negation(self):
+        (instr,) = self.body("  s = !a")
+        assert isinstance(instr.expr, Not)
+
+    def test_fence(self):
+        (instr,) = self.body("  fence")
+        assert isinstance(instr, Fence)
+
+    def test_if_else(self):
+        body = self.body(
+            "  r = ld x\n"
+            "  if r == 1 {\n"
+            "    st y 1\n"
+            "  }\n"
+            "  else {\n"
+            "    st y 2\n"
+            "  }"
+        )
+        assert isinstance(body[1], If)
+        assert len(body[1].then) == 1
+        assert len(body[1].orelse) == 1
+
+    def test_while_with_bound(self):
+        body = self.body(
+            "  r = ld stop no\n"
+            "  while ! r max = 3 {\n"
+            "    r = ld stop no\n"
+            "  }"
+        )
+        loop = body[1]
+        assert isinstance(loop, While)
+        assert loop.max_iters == 3
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(DslError):
+            self.body("  if r == 1 {\n    st y 1")
+
+    def test_bad_statement_rejected(self):
+        with pytest.raises(DslError):
+            self.body("  frobnicate x")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(DslError):
+            self.body("  st x 1 sequential")
+
+
+class TestSemanticsOfParsedPrograms:
+    def test_mp_parsed_and_checked(self):
+        p = parse("""
+            name: mp_paired_dsl
+            thread:
+              st data 42
+              st flag 1 paired
+            thread:
+              r0 = ld flag paired
+              if r0 {
+                r1 = ld data
+              }
+        """)
+        assert check(p, "drfrlx").legal
+
+    def test_mp_unpaired_flag_racy(self):
+        p = parse("""
+            thread:
+              st data 42
+              st flag 1 unpaired
+            thread:
+              r0 = ld flag unpaired
+              if r0 {
+                r1 = ld data
+              }
+        """)
+        result = check(p, "drfrlx")
+        assert not result.legal
+        assert "data" in result.race_kinds
+
+    def test_parsed_program_executes(self):
+        p = parse("""
+            init: x=3
+            thread:
+              r = ld x
+              y2 = r + 1
+              st y y2
+        """)
+        ex = enumerate_sc_executions(p).executions[0]
+        assert ex.final_memory["y"] == 4
+
+    def test_quantum_program_roundtrip(self):
+        p = parse("""
+            thread:
+              w = rmw c add 1 quantum
+            thread:
+              r = ld c quantum
+        """)
+        result = check(p, "drfrlx")
+        assert result.legal

@@ -1,0 +1,48 @@
+"""Litmus library integrity."""
+
+import pytest
+
+from repro.litmus.library import LitmusTest, all_tests, get, table1_rows, use_cases
+
+
+def test_library_nonempty_and_unique_names():
+    tests = all_tests()
+    names = [t.name for t in tests]
+    assert len(tests) >= 20
+    assert len(set(names)) == len(names)
+
+
+def test_get_by_name():
+    t = get("sb_data")
+    assert t.name == "sb_data"
+    with pytest.raises(KeyError):
+        get("nope")
+
+
+def test_every_test_has_three_verdicts():
+    for t in all_tests():
+        assert set(t.expected_legal) == {"drf0", "drf1", "drfrlx"}
+
+
+def test_use_cases_cover_table1_categories():
+    categories = {t.use_case for t in use_cases()}
+    assert {"Unpaired", "Commutative", "Non-Ordering", "Quantum", "Speculative"} <= categories
+
+
+def test_table1_rows_shape():
+    rows = table1_rows()
+    assert all(len(r) == 2 for r in rows)
+    assert any(cat == "Quantum" for cat, _ in rows)
+
+
+def test_illegal_tests_name_race_kinds():
+    for t in all_tests():
+        if not t.expected_legal["drfrlx"]:
+            assert t.expected_race_kinds, t.name
+        else:
+            assert not t.expected_race_kinds, t.name
+
+
+def test_descriptions_present():
+    for t in all_tests():
+        assert len(t.description) > 20

@@ -1,0 +1,73 @@
+"""Program container: locations, labels, relabeling."""
+
+from repro.core.labels import AtomicKind
+from repro.litmus.ast import If, While, load, rmw, store
+from repro.litmus.program import Program, Thread
+
+DATA = AtomicKind.DATA
+PAIRED = AtomicKind.PAIRED
+COMM = AtomicKind.COMMUTATIVE
+UNPAIRED = AtomicKind.UNPAIRED
+Q = AtomicKind.QUANTUM
+
+
+def test_locations_deduplicated_and_include_init():
+    p = Program(
+        "p",
+        [[store("x", 1), load("r", "x")], [store("y", 1)]],
+        init={"z": 5},
+    )
+    assert set(p.locations()) == {"x", "y", "z"}
+
+
+def test_initial_value_defaults_to_zero():
+    p = Program("p", [[load("r", "x")]])
+    assert p.initial_value("x") == 0
+    p2 = Program("p", [[load("r", "x")]], init={"x": 3})
+    assert p2.initial_value("x") == 3
+
+
+def test_kinds_used_and_uses_quantum():
+    p = Program("p", [[store("x", 1, Q), load("r", "y", COMM)]])
+    assert p.kinds_used() == {Q, COMM}
+    assert p.uses_quantum()
+    assert not Program("p", [[store("x", 1)]]).uses_quantum()
+
+
+def test_relabel_flat():
+    p = Program("p", [[store("x", 1, COMM), load("r", "x", PAIRED)]])
+    p2 = p.relabel({COMM: UNPAIRED})
+    kinds = [i.kind for i in p2.threads[0].body]
+    assert kinds == [UNPAIRED, PAIRED]
+
+
+def test_relabel_nested_bodies():
+    p = Program(
+        "p",
+        [[
+            If(1, [store("x", 1, COMM)], [rmw("r", "y", "add", 1, COMM)]),
+            While(0, [load("r2", "z", COMM)], max_iters=2),
+        ]],
+    )
+    p2 = p.relabel({COMM: PAIRED})
+    if_instr = p2.threads[0].body[0]
+    assert if_instr.then[0].kind is PAIRED
+    assert if_instr.orelse[0].kind is PAIRED
+    assert p2.threads[0].body[1].body[0].kind is PAIRED
+
+
+def test_relabel_preserves_init_and_name():
+    p = Program("name", [[store("x", 1, COMM)]], init={"x": 4})
+    p2 = p.relabel({})
+    assert p2.name == "name"
+    assert p2.initial_value("x") == 4
+
+
+def test_thread_locations():
+    t = Thread([store("a", 1), If(1, [load("r", "b")])])
+    assert set(t.locations()) == {"a", "b"}
+
+
+def test_num_threads():
+    p = Program("p", [[store("x", 1)], [store("y", 1)], [store("z", 1)]])
+    assert p.num_threads == 3

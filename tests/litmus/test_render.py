@@ -1,0 +1,108 @@
+"""DSL rendering and the parse/render round trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import AtomicKind
+from repro.core.model import check
+from repro.litmus.ast import BinOp, Const, Fence, If, LitmusError, LocSelect, Reg, While, assign, load, rmw, store
+from repro.litmus.dsl import parse
+from repro.litmus.library import all_tests
+from repro.litmus.program import Program
+from repro.litmus.render import render
+
+RENDERABLE_KINDS = tuple(
+    k for k in AtomicKind if k is not AtomicKind.PAIRED_LOCAL
+)
+
+
+class TestRender:
+    def test_simple_program(self):
+        p = Program("demo", [[store("x", 1, AtomicKind.PAIRED)]], init={"x": 3})
+        text = render(p)
+        assert "name: demo" in text
+        assert "init: x=3" in text
+        assert "st x 1 paired" in text
+
+    def test_control_flow(self):
+        p = Program(
+            "cf",
+            [[
+                load("r", "x"),
+                If(Reg("r"), [store("y", 1)], [store("y", 2)]),
+                While(BinOp("<", Reg("r"), Const(3)), [assign("r", BinOp("+", Reg("r"), Const(1)))], max_iters=5),
+                Fence(),
+            ]],
+        )
+        text = render(p)
+        assert "if r {" in text
+        assert "else {" in text
+        assert "while r < 3 max = 5 {" in text
+        assert "fence" in text
+
+    def test_loc_select_rejected(self):
+        p = Program("bad", [[load("r", LocSelect(("a", "b"), Const(0)))]])
+        with pytest.raises(LitmusError):
+            render(p)
+
+    def test_havoc_rejected(self):
+        from repro.core.quantum import quantum_equivalent
+
+        p = Program("q", [[load("r", "x", AtomicKind.QUANTUM)]])
+        with pytest.raises(LitmusError):
+            render(quantum_equivalent(p, domain=(0,)))
+
+
+def _renderable(program) -> bool:
+    try:
+        render(program)
+        return True
+    except LitmusError:
+        return False
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "test",
+        [t for t in all_tests() if _renderable(t.program)],
+        ids=[t.name for t in all_tests() if _renderable(t.program)],
+    )
+    def test_library_round_trip(self, test):
+        """Every renderable library program keeps its DRFrlx verdict
+        through render -> parse."""
+        text = render(test.program)
+        reparsed = parse(text)
+        original = check(test.program, "drfrlx")
+        again = check(reparsed, "drfrlx")
+        assert original.legal == again.legal
+        assert original.race_kinds == again.race_kinds
+
+
+# -- random round trip ----------------------------------------------------------
+
+@st.composite
+def random_programs(draw):
+    threads = []
+    for tid in range(draw(st.integers(1, 3))):
+        body = []
+        for k in range(draw(st.integers(1, 3))):
+            kind = draw(st.sampled_from(RENDERABLE_KINDS))
+            loc = draw(st.sampled_from(("x", "y")))
+            shape = draw(st.integers(0, 2))
+            if shape == 0:
+                body.append(store(loc, draw(st.integers(0, 3)), kind))
+            elif shape == 1:
+                body.append(load(f"r{tid}_{k}", loc, kind))
+            else:
+                body.append(rmw(f"r{tid}_{k}", loc, "add", 1, kind))
+        threads.append(body)
+    return Program("rand", threads)
+
+
+@given(random_programs())
+@settings(max_examples=40, deadline=None)
+def test_random_round_trip_preserves_verdicts(program):
+    reparsed = parse(render(program))
+    for model in ("drf0", "drf1", "drfrlx"):
+        assert check(program, model).legal == check(reparsed, model).legal

@@ -1,0 +1,72 @@
+"""System configuration (Table 2) and the trace IR."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import DISCRETE, INTEGRATED, SystemConfig, table2_rows
+from repro.sim.trace import Compute, Kernel, MemAccess, Phase, WaitAll, ld, rmw, st
+
+
+class TestConfig:
+    def test_table2_defaults_match_paper(self):
+        c = INTEGRATED
+        assert c.num_cus == 15
+        assert c.num_cpus == 1
+        assert c.mesh_width * c.mesh_height == 16
+        assert c.l1_kb == 32
+        assert c.l2_kb_total == 4096
+        assert c.l2_banks == 16
+        assert c.store_buffer_entries == 128
+        assert c.l1_mshrs == 128
+        assert c.gpu_mhz == 700
+        assert c.cpu_mhz == 2000
+
+    def test_derived_geometry(self):
+        c = INTEGRATED
+        assert c.l1_lines() == 512
+        assert c.l1_sets() == 64
+        assert c.ctrl_flits() == 1
+        assert c.data_flits() == 2
+
+    def test_table2_rows_render(self):
+        rows = dict(table2_rows())
+        assert rows["GPU CUs"] == "15"
+        assert rows["L1 hit latency"] == "1 cycle"
+        assert "29" in rows["L2 hit latency"]
+
+    def test_table2_latency_bands_cover_paper(self):
+        """The min/max of our NUCA spread should bracket sensibly:
+        remote L1 within [26, 83+], L2 within [29, 65]."""
+        rows = dict(table2_rows())
+        lo, hi = rows["L2 hit latency"].split(" ")[0].split("-")
+        assert float(lo) == 29.0
+        assert 55.0 <= float(hi) <= 70.0
+
+    def test_discrete_config_is_costlier(self):
+        assert DISCRETE.l2_atomic_service > INTEGRATED.l2_atomic_service
+        assert DISCRETE.dram_latency > INTEGRATED.dram_latency
+        assert DISCRETE.num_cpus == 0
+
+
+class TestTraceIR:
+    def test_builders(self):
+        assert ld(4).op == "ld"
+        assert st(4).op == "st"
+        assert rmw(4, AtomicKind.COMMUTATIVE).op == "rmw"
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            MemAccess("swap", 0)
+
+    def test_bad_space_rejected(self):
+        with pytest.raises(ValueError):
+            MemAccess("ld", 0, space="l3")
+
+    def test_phase_and_kernel_counting(self):
+        k = Kernel("k")
+        p = Phase("p")
+        p.add_warp(0, [ld(0), Compute(1), WaitAll()])
+        p.add_warp(1, [st(4)])
+        k.phases.append(p)
+        assert p.total_ops() == 4
+        assert k.total_ops() == 4

@@ -1,0 +1,52 @@
+"""Consistency-model LSU policies and Table 4 properties."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.sim.consistency import DRF0, DRF1, DRFRLX, ConsistencyModel, table4_rows
+
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+COMM = AtomicKind.COMMUTATIVE
+NO = AtomicKind.NON_ORDERING
+QUANTUM = AtomicKind.QUANTUM
+SPEC = AtomicKind.SPECULATIVE
+DATA = AtomicKind.DATA
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        ConsistencyModel("sc")
+
+
+class TestTreatments:
+    def test_drf0_strengthens_everything_to_paired(self):
+        for kind in (PAIRED, UNPAIRED, COMM, NO, QUANTUM, SPEC):
+            assert DRF0.treatment(kind) == "paired"
+        assert DRF0.treatment(DATA) == "data"
+
+    def test_drf1_relaxed_classes_become_unpaired(self):
+        assert DRF1.treatment(PAIRED) == "paired"
+        for kind in (UNPAIRED, COMM, NO, QUANTUM, SPEC):
+            assert DRF1.treatment(kind) == "unpaired"
+
+    def test_drfrlx_honors_all_labels(self):
+        assert DRFRLX.treatment(PAIRED) == "paired"
+        assert DRFRLX.treatment(UNPAIRED) == "unpaired"
+        for kind in (COMM, NO, QUANTUM, SPEC):
+            assert DRFRLX.treatment(kind) == "relaxed"
+
+
+class TestTable4:
+    def test_shape(self):
+        rows = table4_rows()
+        assert len(rows) == 3
+        assert all(len(r) == 4 for r in rows)
+
+    def test_matches_paper(self):
+        """Table 4 exactly: DRF0 has none of the benefits; DRF1 avoids
+        invalidations and flushes; DRFrlx additionally overlaps."""
+        rows = {r[0]: r[1:] for r in table4_rows()}
+        assert rows["Avoid cache invalidations at atomic loads"] == (False, True, True)
+        assert rows["Avoid store buffer flushes at atomic stores"] == (False, True, True)
+        assert rows["Overlap atomics in the memory system"] == (False, False, True)

@@ -1,0 +1,50 @@
+"""The CPU core as a coherent participant (Listing 1 end to end)."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.sim import INTEGRATED, Kernel, Phase, System, run_workload
+from repro.sim.config import SystemConfig
+from repro.sim.trace import ld, rmw, st
+from repro.workloads import get
+
+
+def test_system_materializes_cpu_cores():
+    system = System("gpu", "drf0", INTEGRATED)
+    assert len(system.cus) == INTEGRATED.num_cus + INTEGRATED.num_cpus
+
+
+def test_kernel_can_target_cpu_core():
+    k = Kernel("cpu")
+    p = Phase("p")
+    p.add_warp(INTEGRATED.num_cus, [ld(0x100), rmw(0x200, AtomicKind.PAIRED)])
+    k.phases.append(p)
+    res = run_workload(k, "denovo", "drf0")
+    assert res.cycles > 0
+
+
+def test_work_queue_cpu_workload_runs():
+    wl = get("WorkQueue-CPU")
+    kernel = wl.build(INTEGRATED, scale=0.3)
+    res = run_workload(kernel, "gpu", "drf1")
+    assert res.cycles > 0
+    assert res.stats.get("atomic_issued") > 0
+
+
+def test_work_queue_cpu_benefits_from_unpaired_polls():
+    """DRF1's unpaired occupancy checks avoid the service thread's cache
+    invalidations (the Listing 1 motivation)."""
+    wl = get("WorkQueue-CPU")
+    kernel = wl.build(INTEGRATED, scale=0.3)
+    drf0 = run_workload(kernel, "gpu", "drf0")
+    drf1 = run_workload(kernel, "gpu", "drf1")
+    assert drf1.stats.get("l1_invalidate") < drf0.stats.get("l1_invalidate")
+    assert drf1.cycles <= drf0.cycles
+
+
+def test_work_queue_cpu_requires_cpu():
+    from repro.sim.config import DISCRETE
+
+    wl = get("WorkQueue-CPU")
+    with pytest.raises(ValueError):
+        wl.build(DISCRETE, scale=0.3)

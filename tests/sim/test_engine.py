@@ -1,0 +1,96 @@
+"""Resource reservation and event-loop primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventLoop, Resource
+
+
+class TestResource:
+    def test_idle_resource_starts_immediately(self):
+        r = Resource("r")
+        assert r.acquire(10.0, 5.0) == 15.0
+
+    def test_busy_resource_queues(self):
+        r = Resource("r")
+        r.acquire(0.0, 10.0)
+        assert r.acquire(2.0, 5.0) == 15.0
+
+    def test_gap_leaves_idle_time(self):
+        r = Resource("r")
+        r.acquire(0.0, 1.0)
+        assert r.acquire(100.0, 1.0) == 101.0
+
+    def test_busy_cycles_accumulate(self):
+        r = Resource("r")
+        r.acquire(0.0, 3.0)
+        r.acquire(0.0, 4.0)
+        assert r.busy_cycles == 7.0
+        assert r.requests == 2
+
+    def test_utilization(self):
+        r = Resource("r")
+        r.acquire(0.0, 50.0)
+        assert r.utilization(100.0) == 0.5
+        assert r.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        r = Resource("r")
+        r.acquire(0.0, 5.0)
+        r.reset()
+        assert r.next_free == 0.0
+        assert r.acquire(0.0, 1.0) == 1.0
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 10)), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_completions_monotone_in_arrival_order(self, requests):
+        """FIFO service: completion times never decrease."""
+        r = Resource("r")
+        completions = [r.acquire(t, s) for t, s in requests]
+        assert all(a <= b for a, b in zip(completions, completions[1:]))
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 10)), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_total_busy_bounded_by_makespan(self, requests):
+        r = Resource("r")
+        last = max(r.acquire(t, s) for t, s in requests)
+        assert r.busy_cycles <= last + 1e-9
+
+
+class TestEventLoop:
+    def test_pops_in_time_order(self):
+        loop = EventLoop()
+        loop.schedule(5.0, "b")
+        loop.schedule(1.0, "a")
+        loop.schedule(3.0, "c")
+        order = [loop.pop()[1] for _ in range(3)]
+        assert order == ["a", "c", "b"]
+
+    def test_ties_break_by_insertion(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "first")
+        loop.schedule(1.0, "second")
+        assert loop.pop()[1] == "first"
+        assert loop.pop()[1] == "second"
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        loop.schedule(7.0, "x")
+        loop.pop()
+        assert loop.now == 7.0
+
+    def test_past_schedules_clamped_to_now(self):
+        loop = EventLoop()
+        loop.schedule(10.0, "x")
+        loop.pop()
+        loop.schedule(5.0, "y")  # in the past; clamped
+        t, _ = loop.pop()
+        assert t >= 10.0
+
+    def test_empty(self):
+        loop = EventLoop()
+        assert loop.empty()
+        assert loop.pop() is None
+        loop.schedule(0, "x")
+        assert len(loop) == 1

@@ -1,0 +1,220 @@
+"""Memory structures: L1 cache, MSHRs, store buffer, L2 banks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import INTEGRATED
+from repro.sim.mem.cache import L1Cache, LineState
+from repro.sim.mem.l2 import L2Bank, L2System
+from repro.sim.mem.mshr import MshrFile
+from repro.sim.mem.storebuffer import StoreBuffer
+
+
+class TestL1Cache:
+    def make(self, sets=4, assoc=2):
+        return L1Cache(sets=sets, assoc=assoc, line_bytes=64)
+
+    def test_miss_then_hit(self):
+        c = self.make()
+        assert c.lookup(0x100) is LineState.INVALID
+        c.fill(0x100, LineState.VALID)
+        assert c.lookup(0x100) is LineState.VALID
+
+    def test_same_line_shares_state(self):
+        c = self.make()
+        c.fill(0x100, LineState.VALID)
+        assert c.lookup(0x13F) is LineState.VALID  # same 64B line
+        assert c.lookup(0x140) is LineState.INVALID
+
+    def test_lru_eviction_within_set(self):
+        c = self.make(sets=1, assoc=2)
+        c.fill(0 * 64, LineState.VALID, now=0)
+        c.fill(1 * 64, LineState.VALID, now=1)
+        c.lookup(0, now=2)  # touch line 0 -> line 1 becomes LRU
+        victim = c.fill(2 * 64, LineState.VALID, now=3)
+        assert victim == (1, LineState.VALID)
+        assert c.lookup(0) is LineState.VALID
+
+    def test_eviction_prefers_non_registered(self):
+        c = self.make(sets=1, assoc=2)
+        c.fill(0 * 64, LineState.REGISTERED, now=0)
+        c.fill(1 * 64, LineState.VALID, now=5)
+        victim = c.fill(2 * 64, LineState.VALID, now=6)
+        assert victim == (1, LineState.VALID)  # newer but not registered
+
+    def test_refill_upgrades_state_without_eviction(self):
+        c = self.make()
+        c.fill(0x100, LineState.VALID)
+        victim = c.fill(0x100, LineState.REGISTERED)
+        assert victim is None
+        assert c.lookup(0x100) is LineState.REGISTERED
+
+    def test_self_invalidate_keeps_registered(self):
+        c = self.make()
+        c.fill(0 * 64, LineState.VALID)
+        c.fill(1 * 64, LineState.REGISTERED)
+        dropped = c.self_invalidate()
+        assert dropped == 1
+        assert c.lookup(0) is LineState.INVALID
+        assert c.lookup(64) is LineState.REGISTERED
+
+    def test_invalidate_all_drops_everything(self):
+        c = self.make()
+        c.fill(0, LineState.VALID)
+        c.fill(64, LineState.REGISTERED)
+        assert c.invalidate_all() == 2
+        assert c.occupancy() == 0
+
+    def test_invalidate_line(self):
+        c = self.make()
+        c.fill(0x100, LineState.REGISTERED)
+        c.invalidate_line(0x100 // 64)
+        assert c.lookup(0x100) is LineState.INVALID
+
+    def test_registered_lines_iteration(self):
+        c = self.make()
+        c.fill(0, LineState.REGISTERED)
+        c.fill(64, LineState.VALID)
+        assert list(c.registered_lines()) == [0]
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            L1Cache(sets=0, assoc=1, line_bytes=64)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        c = L1Cache(sets=4, assoc=2, line_bytes=64)
+        for i, line in enumerate(lines):
+            c.fill(line * 64, LineState.VALID, now=i)
+            assert c.occupancy() <= 8
+
+
+class TestMshr:
+    def test_allocate_and_retire(self):
+        m = MshrFile(entries=2)
+        m.allocate(5, ready_at=10.0)
+        assert m.outstanding(5) is not None
+        m.retire_ready(now=10.0)
+        assert m.outstanding(5) is None
+
+    def test_retire_only_ready(self):
+        m = MshrFile(entries=2)
+        m.allocate(1, ready_at=10.0)
+        m.allocate(2, ready_at=20.0)
+        m.retire_ready(now=15.0)
+        assert m.outstanding(1) is None
+        assert m.outstanding(2) is not None
+
+    def test_coalesce_counts(self):
+        m = MshrFile(entries=2)
+        m.allocate(1, ready_at=10.0)
+        entry = m.coalesce(1)
+        assert entry.coalesced == 1
+        assert m.total_coalesced == 1
+
+    def test_full_rejects_allocation(self):
+        m = MshrFile(entries=1)
+        m.allocate(1, ready_at=10.0)
+        assert m.full
+        with pytest.raises(ValueError):
+            m.allocate(2, ready_at=5.0)
+
+    def test_duplicate_allocation_rejected(self):
+        m = MshrFile(entries=2)
+        m.allocate(1, ready_at=10.0)
+        with pytest.raises(ValueError):
+            m.allocate(1, ready_at=12.0)
+
+    def test_earliest_ready(self):
+        m = MshrFile(entries=4)
+        m.allocate(1, ready_at=30.0)
+        m.allocate(2, ready_at=10.0)
+        assert m.earliest_ready() == 10.0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MshrFile(entries=0)
+
+
+class TestStoreBuffer:
+    def test_push_and_drain(self):
+        sb = StoreBuffer(entries=4)
+        sb.push(0.0, 0x100, completes_at=10.0)
+        assert len(sb) == 1
+        sb.drain_completed(now=10.0)
+        assert len(sb) == 0
+
+    def test_fifo_drain_order_enforced(self):
+        sb = StoreBuffer(entries=4)
+        sb.push(0.0, 1, completes_at=20.0)
+        sb.push(0.0, 2, completes_at=5.0)  # cannot pass its predecessor
+        assert sb.flush_time(0.0) == 20.0
+
+    def test_flush_empty_returns_now(self):
+        sb = StoreBuffer(entries=4)
+        assert sb.flush_time(7.0) == 7.0
+        assert sb.total_flushes == 1
+
+    def test_full_rejects(self):
+        sb = StoreBuffer(entries=1)
+        sb.push(0.0, 1, completes_at=100.0)
+        assert sb.full
+        with pytest.raises(ValueError):
+            sb.push(0.0, 2, completes_at=50.0)
+
+    def test_push_drains_first(self):
+        sb = StoreBuffer(entries=1)
+        sb.push(0.0, 1, completes_at=5.0)
+        sb.push(10.0, 2, completes_at=15.0)  # entry 1 already done by t=10
+        assert len(sb) == 1
+
+    def test_last_completion_does_not_count_flush(self):
+        sb = StoreBuffer(entries=2)
+        sb.push(0.0, 1, completes_at=5.0)
+        assert sb.last_completion(0.0) == 5.0
+        assert sb.total_flushes == 0
+
+
+class TestL2:
+    def test_home_mapping_is_stable_and_interleaved(self):
+        l2 = L2System(INTEGRATED, nodes=list(range(16)))
+        homes = {l2.home_node(line) for line in range(64)}
+        assert homes == set(range(16))
+        assert l2.home_node(17) == l2.home_node(17)
+
+    def test_first_access_misses_then_hits(self):
+        l2 = L2System(INTEGRATED, nodes=[0])
+        bank = l2.bank_for(5)
+        first = bank.access(0.0, 5)
+        assert not first.l2_hit
+        second = bank.access(first.done, 5)
+        assert second.l2_hit
+        assert bank.dram_accesses == 1
+
+    def test_atomic_occupies_longer(self):
+        cfg = INTEGRATED
+        bank = L2Bank(0, cfg)
+        bank.access(0.0, 1)  # warm the line
+        t0 = bank.port.next_free
+        bank.access(100.0, 1, atomic=True)
+        assert bank.port.next_free - 100.0 == cfg.l2_atomic_service
+
+    def test_registry(self):
+        bank = L2Bank(0, INTEGRATED)
+        assert bank.current_owner(9) is None
+        assert bank.register(9, 3) is None
+        assert bank.register(9, 4) == 3
+        bank.unregister(9, 4)
+        assert bank.current_owner(9) is None
+
+    def test_unregister_requires_matching_owner(self):
+        bank = L2Bank(0, INTEGRATED)
+        bank.register(9, 3)
+        bank.unregister(9, 5)  # wrong node: no effect
+        assert bank.current_owner(9) == 3
+
+    def test_empty_banks_rejected(self):
+        with pytest.raises(ValueError):
+            L2System(INTEGRATED, nodes=[])

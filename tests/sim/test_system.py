@@ -1,0 +1,149 @@
+"""End-to-end system behaviour: warps, phases, and the Table 4 effects
+observable in execution time."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.sim import Kernel, Phase, System, run_workload
+from repro.sim.config import INTEGRATED
+from repro.sim.system import CONFIG_ABBREV, all_configurations
+from repro.sim.trace import Compute, WaitAll, ld, rmw, st
+
+PAIRED = AtomicKind.PAIRED
+UNPAIRED = AtomicKind.UNPAIRED
+COMM = AtomicKind.COMMUTATIVE
+DATA = AtomicKind.DATA
+
+
+def kernel_of(traces_by_cu, name="k"):
+    k = Kernel(name)
+    p = Phase("p")
+    for cu, traces in traces_by_cu.items():
+        for t in traces:
+            p.add_warp(cu, t)
+    k.phases.append(p)
+    return k
+
+
+class TestBasics:
+    def test_empty_kernel_runs(self):
+        k = Kernel("empty")
+        res = run_workload(k, "gpu", "drf0")
+        assert res.cycles == 0.0
+
+    def test_single_warp_completes(self):
+        k = kernel_of({0: [[ld(0x100, DATA), Compute(5), st(0x200, DATA)]]})
+        res = run_workload(k, "gpu", "drf0")
+        assert res.cycles > 0
+        assert res.workload == "k"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            System("moesi", "drf0")
+
+    def test_all_three_protocols_constructible(self):
+        for protocol in ("gpu", "denovo", "mesi"):
+            assert System(protocol, "drf0").protocol_name == protocol
+
+    def test_bad_cu_index_rejected(self):
+        k = kernel_of({99: [[ld(0x100, DATA)]]})
+        with pytest.raises(ValueError):
+            run_workload(k, "gpu", "drf0")
+
+    def test_config_abbreviations_cover_all(self):
+        assert {CONFIG_ABBREV[c] for c in all_configurations()} == {
+            "GD0", "GD1", "GDR", "DD0", "DD1", "DDR"
+        }
+
+    def test_phases_are_sequential(self):
+        k = Kernel("two")
+        for i in range(2):
+            p = Phase(f"p{i}")
+            p.add_warp(0, [ld(0x100, DATA), Compute(10)])
+            k.phases.append(p)
+        res = run_workload(k, "gpu", "drf0")
+        assert len(res.phase_cycles) == 2
+        assert res.cycles == pytest.approx(sum(res.phase_cycles))
+
+    def test_deterministic(self):
+        k = kernel_of({c: [[rmw(0x100 + c * 4, COMM) for _ in range(8)]] for c in range(4)})
+        r1 = run_workload(k, "denovo", "drfrlx")
+        k2 = kernel_of({c: [[rmw(0x100 + c * 4, COMM) for _ in range(8)]] for c in range(4)})
+        r2 = run_workload(k2, "denovo", "drfrlx")
+        assert r1.cycles == r2.cycles
+
+
+class TestConsistencyEffects:
+    """The three Table 4 benefits must be visible in execution time."""
+
+    def test_relaxed_overlap_beats_drf0_serialization(self):
+        trace = [rmw(0x1000 + i * 256, COMM) for i in range(16)]
+        k = kernel_of({0: [list(trace)]})
+        t0 = run_workload(k, "gpu", "drf0").cycles
+        kr = kernel_of({0: [list(trace)]})
+        tr = run_workload(kr, "gpu", "drfrlx").cycles
+        assert tr < t0 * 0.6
+
+    def test_drf1_preserves_data_reuse(self):
+        # Data loads of one line interleaved with atomics: DRF0's
+        # invalidations force reloads, DRF1's unpaired atomics do not.
+        trace = []
+        for i in range(8):
+            trace.append(ld(0x100, DATA))
+            trace.append(rmw(0x9000, UNPAIRED))
+        k0 = kernel_of({0: [list(trace)]})
+        k1 = kernel_of({0: [list(trace)]})
+        t0 = run_workload(k0, "gpu", "drf0")
+        t1 = run_workload(k1, "gpu", "drf1")
+        assert t1.stats.get("l1_hit") > t0.stats.get("l1_hit")
+        assert t1.cycles < t0.cycles
+
+    def test_unpaired_atomics_stay_ordered(self):
+        # DRF1 keeps atomics serialized: DRFrlx must beat it when the
+        # trace is pure atomics.
+        trace = [rmw(0x1000 + i * 256, COMM) for i in range(16)]
+        k1 = kernel_of({0: [list(trace)]})
+        kr = kernel_of({0: [list(trace)]})
+        t1 = run_workload(k1, "gpu", "drf1").cycles
+        tr = run_workload(kr, "gpu", "drfrlx").cycles
+        assert tr < t1
+
+    def test_paired_store_flushes_buffer(self):
+        trace = [st(0x100 + i * 64, DATA) for i in range(8)]
+        trace.append(rmw(0x9000, PAIRED))
+        k = kernel_of({0: [trace]})
+        res = run_workload(k, "gpu", "drf0")
+        assert res.stats.get("sb_flush") >= 1
+
+    def test_waitall_blocks_until_outstanding_done(self):
+        trace = [rmw(0x1000, COMM), WaitAll(), Compute(1)]
+        k = kernel_of({0: [trace]})
+        res = run_workload(k, "gpu", "drfrlx")
+        assert res.cycles > 30  # waited for the atomic round trip
+
+
+class TestProtocolEffects:
+    def test_denovo_atomic_reuse_beats_gpu_when_private(self):
+        # One warp hammering its own counter: DeNovo registers it once.
+        trace = [rmw(0x1000, COMM) for _ in range(32)]
+        kg = kernel_of({0: [list(trace)]})
+        kd = kernel_of({0: [list(trace)]})
+        tg = run_workload(kg, "gpu", "drfrlx").cycles
+        td = run_workload(kd, "denovo", "drfrlx").cycles
+        assert td < tg
+
+    def test_gpu_wins_on_heavily_shared_polling(self):
+        # Every CU polls one word: DeNovo ping-pongs ownership.
+        k_traces = {cu: [[ld(0x1000, AtomicKind.NON_ORDERING) for _ in range(16)]]
+                    for cu in range(8)}
+        kg = kernel_of(dict(k_traces))
+        kd = kernel_of({cu: [list(t[0])] for cu, t in k_traces.items()})
+        tg = run_workload(kg, "gpu", "drf1").cycles
+        td = run_workload(kd, "denovo", "drf1").cycles
+        assert td > tg
+
+    def test_stats_populated(self):
+        k = kernel_of({0: [[ld(0x100, DATA), rmw(0x200, PAIRED)]]})
+        res = run_workload(k, "gpu", "drf0")
+        assert res.stats.get("core_op") > 0
+        assert res.stats.get("l2_access") > 0

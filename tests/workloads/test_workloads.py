@@ -1,0 +1,171 @@
+"""Workload registry and trace generation."""
+
+import pytest
+
+from repro.core.labels import AtomicKind
+from repro.sim.config import INTEGRATED
+from repro.sim.trace import Compute, MemAccess, WaitAll
+from repro.workloads import all_workloads, benchmarks, get, microbenchmarks
+from repro.workloads.layout import AddressSpace
+
+EXPECTED_MICRO = {"H", "HG", "HG-NO", "Flags", "SC", "RC", "SEQ"}
+EXPECTED_BENCH = {"UTS", "BC-1", "BC-2", "BC-3", "BC-4", "PR-1", "PR-2", "PR-3", "PR-4"}
+
+
+class TestRegistry:
+    def test_table3_coverage(self):
+        names = {w.name for w in all_workloads()}
+        assert EXPECTED_MICRO <= names
+        assert EXPECTED_BENCH <= names
+
+    def test_kind_partition(self):
+        assert {w.name for w in microbenchmarks()} == EXPECTED_MICRO
+        assert {w.name for w in benchmarks()} == EXPECTED_BENCH
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("BFS")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get("H").build(INTEGRATED, scale=0)
+
+    def test_atomic_types_match_table3(self):
+        assert get("H").atomic_types == ("Commutative",)
+        assert get("HG-NO").atomic_types == ("Non-Ordering",)
+        assert get("Flags").atomic_types == ("Commutative", "Non-Ordering")
+        assert get("SC").atomic_types == ("Quantum",)
+        assert get("RC").atomic_types == ("Quantum",)
+        assert get("SEQ").atomic_types == ("Speculative",)
+        assert get("UTS").atomic_types == ("Unpaired",)
+        assert get("BC-1").atomic_types == ("Commutative", "Non-Ordering")
+        assert get("PR-1").atomic_types == ("Commutative",)
+
+
+def kinds_in(kernel):
+    kinds = set()
+    for phase in kernel.phases:
+        for traces in phase.warps_per_cu.values():
+            for trace in traces:
+                for op in trace:
+                    if isinstance(op, MemAccess) and op.space == "global":
+                        kinds.add(op.kind)
+    return kinds
+
+
+LABEL_BY_NAME = {
+    "Scoped": AtomicKind.PAIRED_LOCAL,
+    "Commutative": AtomicKind.COMMUTATIVE,
+    "Non-Ordering": AtomicKind.NON_ORDERING,
+    "Quantum": AtomicKind.QUANTUM,
+    "Speculative": AtomicKind.SPECULATIVE,
+    "Unpaired": AtomicKind.UNPAIRED,
+}
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=[w.name for w in all_workloads()])
+class TestTraceGeneration:
+    def test_builds_nonempty(self, workload):
+        kernel = workload.build(INTEGRATED, scale=0.25)
+        assert kernel.total_ops() > 0
+
+    def test_deterministic(self, workload):
+        a = workload.build(INTEGRATED, scale=0.25)
+        b = workload.build(INTEGRATED, scale=0.25)
+        assert a.total_ops() == b.total_ops()
+        assert [p.name for p in a.phases] == [p.name for p in b.phases]
+
+    def test_uses_declared_atomic_kinds(self, workload):
+        kernel = workload.build(INTEGRATED, scale=0.25)
+        kinds = kinds_in(kernel)
+        for type_name in workload.atomic_types:
+            assert LABEL_BY_NAME[type_name] in kinds, (
+                f"{workload.name} declares {type_name} but never emits it"
+            )
+
+    def test_targets_valid_cus(self, workload):
+        kernel = workload.build(INTEGRATED, scale=0.25)
+        cores = INTEGRATED.num_cus + INTEGRATED.num_cpus
+        for phase in kernel.phases:
+            assert all(0 <= cu < cores for cu in phase.warps_per_cu)
+
+    def test_scale_grows_work(self, workload):
+        small = workload.build(INTEGRATED, scale=0.25).total_ops()
+        large = workload.build(INTEGRATED, scale=1.0).total_ops()
+        assert large >= small
+
+
+class TestSpecificShapes:
+    def test_hist_uses_scratchpad(self):
+        kernel = get("H").build(INTEGRATED, scale=0.5)
+        spaces = set()
+        for phase in kernel.phases:
+            for traces in phase.warps_per_cu.values():
+                for trace in traces:
+                    spaces.update(
+                        op.space for op in trace if isinstance(op, MemAccess)
+                    )
+        assert "scratch" in spaces
+
+    def test_hg_no_is_read_only(self):
+        kernel = get("HG-NO").build(INTEGRATED, scale=0.5)
+        for phase in kernel.phases:
+            for traces in phase.warps_per_cu.values():
+                for trace in traces:
+                    for op in trace:
+                        if isinstance(op, MemAccess):
+                            assert op.op == "ld"
+
+    def test_seq_has_one_writer_per_lock(self):
+        kernel = get("SEQ").build(INTEGRATED, scale=0.5)
+        writers = 0
+        for phase in kernel.phases:
+            for traces in phase.warps_per_cu.values():
+                for trace in traces:
+                    if any(
+                        isinstance(op, MemAccess) and op.op == "st"
+                        and op.kind is AtomicKind.SPECULATIVE
+                        for op in trace
+                    ):
+                        writers += 1
+        assert writers == 8  # one writer per seqlock-protected object
+
+    def test_bc_has_multiple_phases(self):
+        kernel = get("BC-1").build(INTEGRATED, scale=0.3)
+        assert len(kernel.phases) >= 2  # BFS levels
+
+    def test_pr_has_three_iterations(self):
+        kernel = get("PR-3").build(INTEGRATED, scale=0.3)
+        assert len(kernel.phases) == 3
+
+    def test_uts_polls_unpaired(self):
+        kernel = get("UTS").build(INTEGRATED, scale=0.3)
+        kinds = kinds_in(kernel)
+        assert AtomicKind.UNPAIRED in kinds
+        assert AtomicKind.PAIRED in kinds
+
+
+class TestAddressSpace:
+    def test_alloc_line_aligned_disjoint(self):
+        space = AddressSpace(base=0, line_bytes=64)
+        a = space.alloc("a", 3)
+        b = space.alloc("b", 5)
+        assert b.base % 64 == 0
+        assert a.base + a.size <= b.base
+
+    def test_addr_bounds_checked(self):
+        space = AddressSpace()
+        r = space.alloc("r", 4)
+        with pytest.raises(IndexError):
+            r.addr(4)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("x", 1)
+        with pytest.raises(ValueError):
+            space.alloc("x", 1)
+
+    def test_getitem(self):
+        space = AddressSpace()
+        r = space.alloc("x", 2)
+        assert space["x"] is r
