@@ -53,8 +53,19 @@ class Event:
         return self.loc == other.loc and (self.is_write or other.is_write)
 
     def key(self) -> Tuple:
-        """Canonical identity stable across different interleavings."""
-        return (self.tid, self.po_index, self.kind, self.loc, self.value, self.label)
+        """Canonical identity stable across different interleavings.
+
+        Memoized (the enumerator hashes keys heavily); the label appears
+        by name so key tuples hash without Python-level enum dispatch.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (
+                self.tid, self.po_index, self.kind, self.loc, self.value,
+                self.label.name,
+            )
+            self.__dict__["_key"] = cached
+        return cached
 
     def __repr__(self) -> str:
         tag = "init" if self.is_init else f"t{self.tid}.{self.po_index}"

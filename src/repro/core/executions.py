@@ -8,6 +8,22 @@ touch no shared state).  Each completed interleaving yields an
 per-thread events, reads-from and coherence order are collapsed into one
 execution.
 
+Two engines produce the same execution set:
+
+* The **default engine** applies sleep-set-style partial-order reduction
+  (adjacent independent operations are only explored in canonical thread
+  order), shares immutable path prefixes copy-on-write instead of deep
+  cloning the whole search state at every branch, and memoizes canonical
+  ``(thread states, memory, partial execution)`` keys so re-converging
+  interleavings are explored once.  :attr:`SCEnumeration.stats` reports
+  how much work each mechanism saved.
+* The **naive engine** (``naive=True``) is the original exhaustive
+  interleaver with per-step full-state clones.  It is kept as the oracle
+  for equivalence tests and as the baseline for ``repro.perf.bench``.
+
+The soundness argument for the reduction is spelled out in
+``docs/performance.md``.
+
 Loops are bounded by each :class:`~repro.litmus.ast.While`'s ``max_iters``;
 paths that exceed the bound are pruned and counted in
 :attr:`SCEnumeration.truncated_paths`.
@@ -64,6 +80,7 @@ class _ThreadState:
         self.pending_ctrl: FrozenSet[int] = frozenset()
         self.done = False
         self.mem_count = 0  # po_index generator for this thread's events
+        self.ckey: Optional[Tuple] = None  # cached canonical key (memo)
 
     def clone(self) -> "_ThreadState":
         other = _ThreadState.__new__(_ThreadState)
@@ -74,6 +91,7 @@ class _ThreadState:
         other.pending_ctrl = self.pending_ctrl
         other.done = self.done
         other.mem_count = self.mem_count
+        other.ckey = None  # the clone is about to be mutated
         return other
 
     def advance(self) -> None:
@@ -139,10 +157,16 @@ class _ThreadState:
             return [(ret, stored) for ret in instr.havoc for stored in instr.havoc]
         return [()]
 
+    def pending_loc(self) -> str:
+        """Location the pending op will access (address operands are
+        thread-local, so this is stable until the op executes)."""
+        assert self.pending is not None
+        return self.pending.loc.resolve(self.regs)[0]
+
 
 @dataclass
 class _Builder:
-    """Accumulates events and relations along one DFS path."""
+    """Accumulates events and relations along one DFS path (naive engine)."""
 
     events: List[Event] = field(default_factory=list)
     order: List[int] = field(default_factory=list)
@@ -268,6 +292,23 @@ def _execute_memory_op(
 
 
 @dataclass
+class EnumStats:
+    """Work accounting for one enumeration run.
+
+    ``steps`` counts executed memory operations (search-tree edges);
+    ``por_pruned`` counts scheduling branches skipped by the partial-order
+    reduction; ``memo_hits`` counts re-converging states collapsed by the
+    canonical-state memo.  The naive engine reports zeros for both.
+    """
+
+    engine: str = "por+memo"
+    steps: int = 0
+    completed_paths: int = 0
+    por_pruned: int = 0
+    memo_hits: int = 0
+
+
+@dataclass
 class SCEnumeration:
     """Result of enumerating the SC executions of a program."""
 
@@ -275,6 +316,7 @@ class SCEnumeration:
     executions: Tuple[Execution, ...]
     truncated_paths: int
     interleavings: int
+    stats: EnumStats = field(default_factory=EnumStats)
 
     def final_results(self) -> Set[Tuple[Tuple[str, int], ...]]:
         """The set of results (final memory states) over all SC executions."""
@@ -283,15 +325,443 @@ class SCEnumeration:
         }
 
 
-def enumerate_sc_executions(
-    program: Program,
-    max_executions: Optional[int] = None,
-) -> SCEnumeration:
-    """Enumerate every SC execution of *program* (deduplicated).
+# ---------------------------------------------------------------------------
+# Optimized engine: POR + copy-on-write prefixes + canonical-state memo.
+# ---------------------------------------------------------------------------
 
-    ``max_executions`` bounds the number of distinct executions collected
-    (a safety valve for property tests); ``None`` means exhaustive.
+
+class _Node:
+    """One step of a search path; paths share prefixes as parent chains.
+
+    Replaces the naive engine's per-branch :meth:`_Builder.clone` (which
+    copies every event and relation accumulated so far) with an O(1)
+    allocation holding only what this step added.
     """
+
+    __slots__ = ("parent", "events", "rf", "rmw_pair", "rmw_entry",
+                 "addr", "data", "ctrl")
+
+    def __init__(self, parent, events, rf, rmw_pair, rmw_entry, addr, data, ctrl):
+        self.parent = parent
+        self.events = events  # Tuple[Event, ...] added this step
+        self.rf = rf  # Tuple[(read_eid, write_eid), ...]
+        self.rmw_pair = rmw_pair  # Optional[(r_eid, w_eid)]
+        self.rmw_entry = rmw_entry  # Optional[(w_eid, RmwInfo)]
+        self.addr = addr
+        self.data = data
+        self.ctrl = ctrl
+
+
+class _Ctx:
+    """Small mutable per-path state, copied on branch.
+
+    ``sig`` is an order-insensitive canonical signature of the partial
+    execution so far: per-event keys plus reads-from (by writer key) and
+    per-location coherence positions.  Two paths with equal ``sig`` are
+    linearizations of the same Mazurkiewicz trace prefix.  Signature and
+    ``ekey`` maintenance only matter to the re-convergence memo, so they
+    are skipped entirely when ``track`` is off.
+    """
+
+    __slots__ = ("memory", "last_writer", "ekey", "co_pos", "next_eid", "sig",
+                 "track")
+
+    def __init__(self, memory, last_writer, ekey, co_pos, next_eid, sig, track):
+        self.memory = memory  # loc -> value
+        self.last_writer = last_writer  # loc -> write eid
+        self.ekey = ekey  # eid -> Event.key() (canonical, path-independent)
+        self.co_pos = co_pos  # loc -> number of writes so far (incl. init)
+        self.next_eid = next_eid
+        self.sig = sig  # FrozenSet of canonical event contributions
+        self.track = track  # maintain ekey/co_pos/sig for the memo?
+
+    def branch(self) -> "_Ctx":
+        return _Ctx(
+            dict(self.memory),
+            dict(self.last_writer),
+            dict(self.ekey) if self.track else self.ekey,
+            dict(self.co_pos) if self.track else self.co_pos,
+            self.next_eid,
+            self.sig,  # immutable; replaced wholesale on update
+            self.track,
+        )
+
+
+def _apply_op(
+    state: _ThreadState, ctx: _Ctx, choice: Tuple, parent: _Node
+) -> Tuple[_Node, str, bool]:
+    """Execute the pending op against *ctx*; returns the new path node plus
+    the accessed location and whether the op was a pure read (for POR)."""
+    instr = state.pending
+    assert instr is not None
+    state.pending = None
+    ctrl_taint = state.pending_ctrl
+
+    loc, addr_taint = instr.loc.resolve(state.regs)
+    if loc not in ctx.memory:
+        ctx.memory[loc] = 0
+
+    track = ctx.track
+    sig_items: List[Tuple] = []
+
+    def deps(eid: int, data_taint: FrozenSet[int] = frozenset()) -> Tuple:
+        return (
+            tuple((t, eid) for t in addr_taint),
+            tuple((t, eid) for t in data_taint),
+            tuple((t, eid) for t in ctrl_taint),
+        )
+
+    if isinstance(instr, Load):
+        eid = ctx.next_eid
+        ctx.next_eid += 1
+        read_value = ctx.memory[loc]
+        event = Event(eid, state.tid, "R", loc, read_value, instr.kind, state.mem_count)
+        state.mem_count += 1
+        writer = ctx.last_writer.get(loc)
+        if track:
+            ctx.ekey[eid] = event.key()
+            sig_items.append(
+                ("R", event.key(), ctx.ekey[writer] if writer is not None else None)
+            )
+        addr_e, data_e, ctrl_e = deps(eid)
+        result = choice[0] if instr.havoc else read_value
+        state.regs[instr.dst] = Value(result, frozenset({eid}))
+        node = _Node(
+            parent, (event,), ((eid, writer),) if writer is not None else (),
+            None, None, addr_e, data_e, ctrl_e,
+        )
+    elif isinstance(instr, Store):
+        if instr.havoc:
+            stored = Value(choice[0], frozenset())
+        else:
+            stored = instr.value.evaluate(state.regs)
+        eid = ctx.next_eid
+        ctx.next_eid += 1
+        event = Event(eid, state.tid, "W", loc, stored.val, instr.kind, state.mem_count)
+        state.mem_count += 1
+        if track:
+            ctx.ekey[eid] = event.key()
+            pos = ctx.co_pos.get(loc, 0)
+            sig_items.append(("W", event.key(), pos))
+            ctx.co_pos[loc] = pos + 1
+        ctx.last_writer[loc] = eid
+        addr_e, data_e, ctrl_e = deps(eid, stored.taint)
+        ctx.memory[loc] = stored.val
+        node = _Node(
+            parent, (event,), (), None, None, addr_e, data_e, ctrl_e,
+        )
+    elif isinstance(instr, Rmw):
+        old = ctx.memory[loc]
+        operand = instr.operand.evaluate(state.regs)
+        operand2 = instr.operand2.evaluate(state.regs) if instr.operand2 else None
+        r_eid = ctx.next_eid
+        ctx.next_eid += 1
+        r_event = Event(r_eid, state.tid, "R", loc, old, instr.kind, state.mem_count)
+        state.mem_count += 1
+        writer = ctx.last_writer.get(loc)
+        if track:
+            ctx.ekey[r_eid] = r_event.key()
+            sig_items.append(
+                ("R", r_event.key(), ctx.ekey[writer] if writer is not None else None)
+            )
+
+        if instr.havoc:
+            returned, new_value = choice
+            operand_val = new_value  # the stored value is the random value
+        else:
+            returned = old
+            new_value = instr.apply(old, operand.val, operand2.val if operand2 else None)
+            operand_val = operand.val
+
+        w_eid = ctx.next_eid
+        ctx.next_eid += 1
+        w_event = Event(w_eid, state.tid, "W", loc, new_value, instr.kind, state.mem_count)
+        state.mem_count += 1
+        if track:
+            ctx.ekey[w_eid] = w_event.key()
+            pos = ctx.co_pos.get(loc, 0)
+            sig_items.append(("W", w_event.key(), pos))
+            ctx.co_pos[loc] = pos + 1
+        ctx.last_writer[loc] = w_eid
+        op_name = "exch" if instr.havoc else instr.op
+        info = RmwInfo(op_name, operand_val, operand2.val if operand2 else None)
+
+        data_taint = operand.taint | (operand2.taint if operand2 else frozenset())
+        r_addr, r_data, r_ctrl = deps(r_eid)
+        w_addr, w_data, w_ctrl = deps(w_eid, data_taint)
+        ctx.memory[loc] = new_value
+        state.regs[instr.dst] = Value(returned, frozenset({r_eid}))
+        node = _Node(
+            parent, (r_event, w_event),
+            ((r_eid, writer),) if writer is not None else (),
+            (r_eid, w_eid), (w_eid, info),
+            r_addr + w_addr, r_data + w_data, r_ctrl + w_ctrl,
+        )
+    else:
+        raise LitmusError(f"not a memory instruction: {instr!r}")
+
+    if track:
+        ctx.sig = ctx.sig | frozenset(sig_items)
+    pure_read = isinstance(instr, Load)
+    return node, loc, pure_read
+
+
+def _chain(node: _Node) -> List[_Node]:
+    """The path from the root to *node*, in execution order."""
+    chain: List[_Node] = []
+    cursor: Optional[_Node] = node
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = cursor.parent
+    chain.reverse()
+    return chain
+
+
+def _leaf_key(chain: Sequence[_Node], states: Sequence[_ThreadState]) -> Tuple:
+    """Execution identity computed straight off the path chain.
+
+    Partition-equivalent to :meth:`Execution.canonical_key` — same
+    per-thread events, reads-from, coherence order (as per-location write
+    sequences rather than pair sets) and final register values — without
+    constructing the :class:`Execution` and its relation objects, so
+    duplicate interleavings are rejected cheaply.
+    """
+    ev_keys: List[Tuple] = []
+    rf_pairs: List[Tuple[Tuple, Tuple]] = []
+    co_seq: Dict[str, List[Tuple]] = {}
+    key_of: Dict[int, Tuple] = {}
+    for step in chain:
+        for event in step.events:
+            k = event.key()
+            key_of[event.eid] = k
+            if not event.is_init:
+                ev_keys.append(k)
+            if event.kind == "W":
+                co_seq.setdefault(event.loc, []).append(k)
+        for read, write in step.rf:
+            rf_pairs.append((key_of[write], key_of[read]))
+    return (
+        tuple(sorted(ev_keys)),
+        tuple(sorted(rf_pairs)),
+        tuple(sorted((loc, tuple(seq)) for loc, seq in co_seq.items())),
+        tuple(
+            tuple(sorted((name, v.val) for name, v in s.regs.items()))
+            for s in states
+        ),
+    )
+
+
+def _materialize(
+    chain: Sequence[_Node],
+    memory: Dict[str, int],
+    states: Sequence[_ThreadState],
+) -> Execution:
+    """Rebuild a full :class:`Execution` from a completed path chain."""
+    events: List[Event] = []
+    order: List[int] = []
+    rf_map: Dict[int, int] = {}
+    rmw_pairs: List[Tuple[int, int]] = []
+    rmw_info: Dict[int, RmwInfo] = {}
+    addr: List[Tuple[int, int]] = []
+    data: List[Tuple[int, int]] = []
+    ctrl: List[Tuple[int, int]] = []
+    for step in chain:
+        for event in step.events:
+            events.append(event)
+            order.append(event.eid)
+        for read, write in step.rf:
+            rf_map[read] = write
+        if step.rmw_pair is not None:
+            rmw_pairs.append(step.rmw_pair)
+        if step.rmw_entry is not None:
+            rmw_info[step.rmw_entry[0]] = step.rmw_entry[1]
+        addr.extend(step.addr)
+        data.extend(step.data)
+        ctrl.extend(step.ctrl)
+
+    return Execution(
+        events=events,
+        order=order,
+        rf_map=rf_map,
+        rmw_pairs=rmw_pairs,
+        dep_edges={"addr": addr, "data": data, "ctrl": ctrl},
+        final_memory=memory,
+        final_registers=[
+            {name: v.val for name, v in s.regs.items()} for s in states
+        ],
+        rmw_info=rmw_info,
+    )
+
+
+def _canon_taint(taint: FrozenSet[int], ekey: Dict[int, Tuple]) -> Tuple:
+    """Taints hold eids, which depend on interleaving order; map them to
+    canonical event keys so re-converging paths compare equal."""
+    if not taint:
+        return ()
+    if len(taint) == 1:
+        (t,) = taint
+        return (ekey[t],)
+    return tuple(sorted((ekey[t] for t in taint), key=repr))
+
+
+def _state_key(state: _ThreadState, ekey: Dict[int, Tuple]) -> Tuple:
+    """Canonical key of one thread state, cached on the state object.
+
+    The cache stays valid when the state is shared between branches: all
+    sharers extend the same path prefix, and an eid's canonical key is
+    fixed once assigned, so the ``ekey`` entries this key depends on never
+    change.
+    """
+    if state.ckey is None:
+        state.ckey = (
+            state.tid,
+            state.done,
+            state.mem_count,
+            id(state.pending) if state.pending is not None else None,
+            _canon_taint(state.pending_ctrl, ekey),
+            tuple(
+                sorted(
+                    (name, v.val, _canon_taint(v.taint, ekey))
+                    for name, v in state.regs.items()
+                )
+            ),
+            tuple(
+                (id(f.body), f.idx, _canon_taint(f.ctrl, ekey),
+                 id(f.loop) if f.loop is not None else None, f.iters)
+                for f in state.frames
+            ),
+        )
+    return state.ckey
+
+
+def _independent(op: Tuple[int, str, bool], loc: str, pure_read: bool) -> bool:
+    """Two memory ops commute iff they touch different locations or are
+    both pure reads (loads; RMWs count as writes)."""
+    return loc != op[1] or (pure_read and op[2])
+
+
+def _enumerate_por(
+    program: Program, max_executions: Optional[int], memo_enabled: Optional[bool] = None
+) -> SCEnumeration:
+    if memo_enabled is None:
+        # Re-converging linearizations that survive the reduction need at
+        # least three threads (two-thread duplicates are always adjacent
+        # transpositions, which POR already prunes); below that the memo
+        # is pure bookkeeping overhead.
+        memo_enabled = len(program.threads) >= 3
+    stats = EnumStats(engine="por+memo" if memo_enabled else "por")
+    root_events: List[Event] = []
+    ctx = _Ctx({}, {}, {}, {}, 0, frozenset(), memo_enabled)
+    for idx, loc in enumerate(program.locations()):
+        val = program.initial_value(loc)
+        eid = ctx.next_eid
+        ctx.next_eid += 1
+        event = Event(eid, -1, "W", loc, val, AtomicKind.DATA, idx, is_init=True)
+        root_events.append(event)
+        if memo_enabled:
+            ctx.ekey[eid] = event.key()
+            ctx.co_pos[loc] = 1
+        ctx.last_writer[loc] = eid
+        ctx.memory[loc] = val
+    root = _Node(None, tuple(root_events), (), None, None, (), (), ())
+
+    states = [
+        _ThreadState(tid, thread.body) for tid, thread in enumerate(program.threads)
+    ]
+    truncated = 0
+    try:
+        for state in states:
+            state.advance()
+    except _Truncated:
+        return SCEnumeration(program, (), 1, 0, stats)
+
+    seen: Set[Tuple] = set()
+    memo: Set[Tuple] = set()
+    executions: List[Execution] = []
+
+    # Entries: (thread states, ctx, path node, sleep set).  A sleep-set
+    # entry (tid, loc, pure-read) records a thread whose pending op was
+    # already explored at an ancestor node and commutes with everything
+    # executed since: scheduling it now would re-derive an execution the
+    # sibling subtree already covers (Godefroid-style sleep sets).
+    Sleep = FrozenSet[Tuple[int, str, bool]]
+    stack: List[Tuple[List[_ThreadState], _Ctx, _Node, Sleep]] = [
+        (states, ctx, root, frozenset())
+    ]
+
+    while stack:
+        states, ctx, node, sleep = stack.pop()
+        runnable = [s for s in states if s.pending is not None]
+        if not runnable:
+            stats.completed_paths += 1
+            chain = _chain(node)
+            key = _leaf_key(chain, states)
+            if key not in seen:
+                seen.add(key)
+                executions.append(_materialize(chain, ctx.memory, states))
+                if max_executions is not None and len(executions) >= max_executions:
+                    break
+            continue
+
+        sleeping_tids = {op[0] for op in sleep}
+        explored: List[Tuple[int, str, bool]] = []
+        for state in runnable:
+            if state.tid in sleeping_tids:
+                stats.por_pruned += 1
+                continue
+            loc = state.pending_loc()
+            pure_read = isinstance(state.pending, Load)
+            # Earlier siblings (and inherited sleepers) stay asleep only
+            # while independent of this op; a dependent op wakes them.
+            child_sleep = frozenset(
+                op
+                for ops in (sleep, explored)
+                for op in ops
+                if _independent(op, loc, pure_read)
+            )
+            for choice in state.choices():
+                new_ctx = ctx.branch()
+                target = state.clone()
+                new_node, _, _ = _apply_op(target, new_ctx, choice, node)
+                stats.steps += 1
+                try:
+                    target.advance()
+                except _Truncated:
+                    truncated += 1
+                    continue
+                new_states = [target if s.tid == state.tid else s for s in states]
+                if memo_enabled:
+                    memo_key = (
+                        tuple(_state_key(s, new_ctx.ekey) for s in new_states),
+                        tuple(sorted(new_ctx.memory.items())),
+                        new_ctx.sig,
+                        frozenset(op[0] for op in child_sleep),
+                    )
+                    if memo_key in memo:
+                        stats.memo_hits += 1
+                        continue
+                    memo.add(memo_key)
+                stack.append((new_states, new_ctx, new_node, child_sleep))
+            explored.append((state.tid, loc, pure_read))
+
+    return SCEnumeration(
+        program=program,
+        executions=tuple(executions),
+        truncated_paths=truncated,
+        interleavings=stats.completed_paths,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Naive engine (original implementation): the oracle and perf baseline.
+# ---------------------------------------------------------------------------
+
+
+def _enumerate_naive(
+    program: Program, max_executions: Optional[int]
+) -> SCEnumeration:
+    stats = EnumStats(engine="naive")
     init_builder = _Builder()
     init_memory: Dict[str, int] = {}
     # Initial writes: one per location, first in T, excluded from races.
@@ -334,6 +804,7 @@ def enumerate_sc_executions(
         runnable = [s for s in states if s.pending is not None]
         if not runnable:
             interleavings += 1
+            stats.completed_paths += 1
             execution = Execution(
                 events=builder.events,
                 order=builder.order,
@@ -365,6 +836,7 @@ def enumerate_sc_executions(
                 new_builder = builder.clone()
                 target = next(s for s in new_states if s.tid == state.tid)
                 _execute_memory_op(target, new_builder, new_memory, choice)
+                stats.steps += 1
                 stack.append((new_states, new_memory, new_builder))
 
     return SCEnumeration(
@@ -372,4 +844,27 @@ def enumerate_sc_executions(
         executions=tuple(executions),
         truncated_paths=truncated,
         interleavings=interleavings,
+        stats=stats,
     )
+
+
+def enumerate_sc_executions(
+    program: Program,
+    max_executions: Optional[int] = None,
+    naive: bool = False,
+    memo: Optional[bool] = None,
+) -> SCEnumeration:
+    """Enumerate every SC execution of *program* (deduplicated).
+
+    ``max_executions`` bounds the number of distinct executions collected
+    (a safety valve for property tests); ``None`` means exhaustive.
+    ``naive=True`` selects the original full-clone interleaver — the
+    oracle used by equivalence tests and the ``repro.perf`` baseline.
+    ``memo`` forces the re-convergence memo on or off; the default
+    (``None``) enables it for programs with three or more threads, the
+    only case where hits can occur (a perf-attribution knob for the
+    bench harness).
+    """
+    if naive:
+        return _enumerate_naive(program, max_executions)
+    return _enumerate_por(program, max_executions, memo_enabled=memo)

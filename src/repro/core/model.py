@@ -98,16 +98,20 @@ def check(
     model: str,
     max_executions: Optional[int] = None,
     max_witnesses: int = 32,
+    naive: bool = False,
 ) -> CheckResult:
     """Check *program* against one of the three models.
 
     Enumerates every SC execution of the (relabeled / quantum-transformed)
     program and classifies every race.  ``max_witnesses`` caps how many
     race witnesses are retained; legality is still decided over all
-    executions explored.
+    executions explored.  ``naive=True`` uses the unreduced enumeration
+    engine (the oracle for equivalence tests).
     """
     prepared = _prepare(program, model)
-    enumeration = enumerate_sc_executions(prepared, max_executions=max_executions)
+    enumeration = enumerate_sc_executions(
+        prepared, max_executions=max_executions, naive=naive
+    )
     classes = _ILLEGAL_CLASSES[model]
     witnesses = []
     for idx, execution in enumerate(enumeration.executions):

@@ -1,16 +1,32 @@
 """Evaluation harness: run workloads over the six configurations and
 collect the execution-time / energy observations behind Figures 3 and 4.
+
+The sweep is embarrassingly parallel — every (workload, configuration)
+pair is an independent simulation — so :func:`run_sweep_parallel` fans
+the grid out over a process pool (see :mod:`repro.perf.pool`; worker
+count from the ``jobs`` argument, the ``REPRO_JOBS`` environment
+variable, or the CPU count).  Results are collected in deterministic
+task order, so figures, tables and CSV exports are byte-identical to a
+serial :func:`run_sweep`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.perf.pool import parallel_map
 from repro.sim.config import INTEGRATED, SystemConfig
 from repro.sim.system import CONFIG_ABBREV, RunResult, all_configurations, run_workload
-from repro.workloads.base import Workload, all_workloads, get
+from repro.workloads.base import (
+    BENCH_NAMES,
+    FIGURE1_NAMES,
+    MICRO_NAMES,
+    Workload,
+    all_workloads,
+    get,
+)
 
 #: Figure 3/4 configuration order.
 CONFIG_ORDER = ("GD0", "GD1", "GDR", "DD0", "DD1", "DDR")
@@ -47,7 +63,14 @@ class SweepResult:
         return tuple(names)
 
     def get(self, workload: str, config: str) -> Observation:
-        return self.observations[(workload, config)]
+        try:
+            return self.observations[(workload, config)]
+        except KeyError:
+            raise KeyError(
+                f"sweep has no observation for workload {workload!r} under "
+                f"config {config!r}; the sweep is partial (have "
+                f"{sorted(self.observations)})"
+            ) from None
 
     # -- normalized views (the Figure 3/4 bar heights) ---------------------------
     def normalized_time(self, workload: str) -> Dict[str, float]:
@@ -83,62 +106,118 @@ class SweepResult:
         return sum(reductions) / len(reductions) if reductions else 0.0
 
 
+# -- sweep task plumbing -------------------------------------------------------
+
+#: One simulation: (workload name, protocol, model, config, scale, energy model).
+_SweepTask = Tuple[str, str, str, SystemConfig, float, EnergyModel]
+
+
+def _sweep_tasks(
+    workload_names: Sequence[str],
+    config: SystemConfig,
+    scale: float,
+    energy_model: EnergyModel,
+) -> List[_SweepTask]:
+    return [
+        (name, protocol, model, config, scale, energy_model)
+        for name in workload_names
+        for protocol, model in all_configurations()
+    ]
+
+
+def _run_sweep_task(task: _SweepTask) -> Observation:
+    """Worker for one (workload, configuration) cell; module-level so it is
+    picklable by reference into a process pool."""
+    name, protocol, model, config, scale, energy_model = task
+    kernel = get(name).build(config, scale)
+    result = run_workload(kernel, protocol, model, config)
+    return Observation(
+        workload=name,
+        config=CONFIG_ABBREV[(protocol, model)],
+        cycles=result.cycles,
+        energy_nj=energy_model.breakdown(result.stats),
+    )
+
+
 def run_sweep(
     workload_names: Sequence[str],
     config: SystemConfig = INTEGRATED,
     scale: float = 1.0,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
 ) -> SweepResult:
-    """Run every named workload on all six configurations."""
+    """Run every named workload on all six configurations, serially."""
     sweep = SweepResult()
-    for name in workload_names:
-        workload = get(name)
-        kernel = workload.build(config, scale)
-        for protocol, model in all_configurations():
-            result = run_workload(kernel, protocol, model, config)
-            sweep.add(
-                Observation(
-                    workload=name,
-                    config=CONFIG_ABBREV[(protocol, model)],
-                    cycles=result.cycles,
-                    energy_nj=energy_model.breakdown(result.stats),
-                )
-            )
+    for task in _sweep_tasks(workload_names, config, scale, energy_model):
+        sweep.add(_run_sweep_task(task))
+    return sweep
+
+
+def run_sweep_parallel(
+    workload_names: Sequence[str],
+    config: SystemConfig = INTEGRATED,
+    scale: float = 1.0,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    jobs: Optional[int] = None,
+) -> SweepResult:
+    """Like :func:`run_sweep`, fanned out over a process pool.
+
+    ``jobs=None`` resolves via ``REPRO_JOBS`` then the CPU count;
+    ``jobs=1``, a single task, or workloads that cannot be shipped to a
+    worker process (e.g. registered only in this process) fall back to
+    the serial path.  Observations are added in the same deterministic
+    order as :func:`run_sweep`, so results are byte-identical.
+    """
+    sweep = SweepResult()
+    tasks = _sweep_tasks(workload_names, config, scale, energy_model)
+    for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
+        sweep.add(obs)
     return sweep
 
 
 def micro_names() -> Tuple[str, ...]:
-    return ("H", "HG", "HG-NO", "Flags", "SC", "RC", "SEQ")
+    return MICRO_NAMES
 
 
 def bench_names() -> Tuple[str, ...]:
-    return ("UTS", "BC-1", "BC-2", "BC-3", "BC-4", "PR-1", "PR-2", "PR-3", "PR-4")
+    return BENCH_NAMES
 
 
-def run_figure3(scale: float = 1.0) -> SweepResult:
+def run_figure3(scale: float = 1.0, jobs: Optional[int] = None) -> SweepResult:
     """Figure 3: all microbenchmarks, 6 configurations."""
-    return run_sweep(micro_names(), scale=scale)
+    return run_sweep_parallel(micro_names(), scale=scale, jobs=jobs)
 
 
-def run_figure4(scale: float = 1.0) -> SweepResult:
+def run_figure4(scale: float = 1.0, jobs: Optional[int] = None) -> SweepResult:
     """Figure 4: UTS + BC(4 graphs) + PR(4 graphs), 6 configurations."""
-    return run_sweep(bench_names(), scale=scale)
+    return run_sweep_parallel(bench_names(), scale=scale, jobs=jobs)
 
 
-def run_figure1(scale: float = 1.0) -> Dict[str, float]:
+def _run_figure1_task(task: Tuple[str, str, float]) -> Tuple[str, str, float]:
+    """Worker for one Figure 1 run: (workload, model) -> cycles."""
+    from repro.sim.config import DISCRETE
+
+    name, model, scale = task
+    kernel = get(name).build(DISCRETE, scale)
+    result = run_workload(kernel, "gpu", model, DISCRETE)
+    return (name, model, result.cycles)
+
+
+def run_figure1(scale: float = 1.0, jobs: Optional[int] = None) -> Dict[str, float]:
     """Figure 1: relaxed vs SC atomics speedup on a discrete GPU.
 
     For each atomic-heavy workload, the speedup of GPU coherence with
     DRFrlx (relaxed atomics honored) over GPU coherence with DRF0 (every
     atomic treated as an SC atomic), on the discrete-GPU configuration.
     """
-    from repro.sim.config import DISCRETE
-
-    speedups: Dict[str, float] = {}
-    for name in ("HG", "Flags", "SC", "RC", "SEQ", "UTS", "BC-4", "PR-1", "PR-4"):
-        workload = get(name)
-        kernel = workload.build(DISCRETE, scale)
-        sc_atomics = run_workload(kernel, "gpu", "drf0", DISCRETE)
-        relaxed = run_workload(kernel, "gpu", "drfrlx", DISCRETE)
-        speedups[name] = sc_atomics.cycles / relaxed.cycles
-    return speedups
+    tasks = [
+        (name, model, scale)
+        for name in FIGURE1_NAMES
+        for model in ("drf0", "drfrlx")
+    ]
+    cycles: Dict[Tuple[str, str], float] = {}
+    for name, model, value in parallel_map(_run_figure1_task, tasks, jobs=jobs):
+        cycles[(name, model)] = value
+    return {
+        name: cycles[(name, "drf0")] / cycles[(name, "drfrlx")]
+        for name in FIGURE1_NAMES
+    }

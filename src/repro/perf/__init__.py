@@ -1,0 +1,15 @@
+"""Performance layer: parallel execution and benchmarking.
+
+- :mod:`repro.perf.pool` — process-pool fan-out with deterministic
+  ordering and serial fallback (``REPRO_JOBS`` env override).
+- :mod:`repro.perf.audit` — parallel verdict audit of the litmus corpus.
+- :mod:`repro.perf.bench` — the benchmark/regression harness
+  (``python -m repro.perf.bench``); writes ``BENCH_<date>.json``.
+
+See ``docs/performance.md`` for usage and the partial-order-reduction
+soundness argument.
+"""
+
+from repro.perf.pool import parallel_map, resolve_jobs
+
+__all__ = ["parallel_map", "resolve_jobs"]

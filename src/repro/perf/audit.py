@@ -1,0 +1,84 @@
+"""Parallel verdict audit of the litmus corpus.
+
+Re-checks every ``*.litmus`` file against the verdicts declared in its
+``# expect:`` header, fanning the per-file work (parse + enumerate + race
+classification for each declared model) out over a process pool.  Each
+worker re-reads its file from disk, so only the path crosses the process
+boundary.
+
+Used as a fast end-to-end regression sweep (``python -m
+repro.perf.audit``) and by :mod:`repro.perf.bench` as a realistic
+checker-heavy parallel workload.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.model import check
+from repro.litmus.corpus import CORPUS_DIR, _parse_expectations
+from repro.litmus.dsl import parse
+from repro.perf.pool import parallel_map
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Verdict comparison for one corpus file."""
+
+    name: str
+    path: str
+    #: model -> (expected legal, actual legal, actual race kinds)
+    verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]]
+
+    @property
+    def ok(self) -> bool:
+        return all(exp == act for exp, act, _ in self.verdicts.values())
+
+
+def _audit_file(path: str) -> AuditResult:
+    """Worker: parse one corpus file and check every declared model."""
+    with open(path) as handle:
+        text = handle.read()
+    program = parse(text)
+    verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]] = {}
+    for model, (legal, _kinds) in sorted(_parse_expectations(text).items()):
+        result = check(program, model)
+        verdicts[model] = (legal, result.legal, result.race_kinds)
+    return AuditResult(name=program.name, path=path, verdicts=verdicts)
+
+
+def audit_corpus(
+    directory: str = CORPUS_DIR, jobs: Optional[int] = None
+) -> Tuple[AuditResult, ...]:
+    """Audit every corpus file; results in sorted-filename order."""
+    paths = [
+        os.path.join(directory, filename)
+        for filename in sorted(os.listdir(directory))
+        if filename.endswith(".litmus")
+    ]
+    return tuple(parallel_map(_audit_file, paths, jobs=jobs))
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    jobs = int(args[0]) if args else None
+    failures = 0
+    for result in audit_corpus(jobs=jobs):
+        status = "ok" if result.ok else "FAIL"
+        if not result.ok:
+            failures += 1
+        detail = " ".join(
+            f"{model}={'legal' if act else 'illegal'}"
+            + ("" if exp == act else f"(expected {'legal' if exp else 'illegal'})")
+            for model, (exp, act, _) in result.verdicts.items()
+        )
+        print(f"{status:4s} {result.name}: {detail}")
+    print(f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""Benchmark/regression harness for the two hot paths.
+
+Measures (1) SC-execution enumeration over the litmus corpus — default
+engine (POR + memo + copy-on-write prefixes) vs the naive full-clone
+oracle — and (2) a scaled Figure-3 sweep — serial vs process-pool
+parallel — and writes a ``BENCH_<date>.json`` record so future PRs have a
+perf trajectory to compare against.
+
+Both measurements double as correctness checks: the enumeration bench
+asserts the two engines produce the same execution sets, and the sweep
+bench asserts the parallel CSV artifacts are byte-identical to serial.
+
+Run::
+
+    PYTHONPATH=src python -m repro.perf.bench [--scale S] [--jobs N]
+        [--repeat R] [--out DIR] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import date
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.executions import enumerate_sc_executions
+from repro.eval.export import energy_csv, time_csv
+from repro.eval.harness import run_sweep, run_sweep_parallel
+from repro.litmus.corpus import load_corpus
+from repro.litmus.program import Program
+from repro.perf.pool import resolve_jobs
+from repro.workloads.base import MICRO_NAMES
+
+
+def _corpus_programs() -> List[Tuple[str, Program]]:
+    return [(entry.name, entry.program) for entry in load_corpus()]
+
+
+def stress_programs() -> List[Tuple[str, Program]]:
+    """Synthetic programs that scale the interleaving space.
+
+    The corpus programs are tiny (litmus tests race on one or two
+    locations); these push the enumerator into the regime the reduction
+    targets: several threads with mostly-independent operations, where
+    the naive engine pays the full factorial interleaving count.
+    """
+    from repro.litmus import load, store
+
+    programs: List[Tuple[str, Program]] = []
+    # Disjoint writers: N threads, M ops each, per-thread locations.
+    # One canonical interleaving suffices; naive explores (N*M)!/(M!^N).
+    for n_threads, n_ops in ((3, 3), (4, 2)):
+        threads = [
+            [store(f"x{t}", k + 1) for k in range(n_ops)]
+            for t in range(n_threads)
+        ]
+        programs.append(
+            (f"stress-disjoint-{n_threads}x{n_ops}", Program("stress", threads))
+        )
+    # Message passing with an independent bystander thread.
+    programs.append(
+        (
+            "stress-mp-bystander",
+            Program(
+                "stress",
+                [
+                    [store("data", 1), store("flag", 1)],
+                    [load("r0", "flag"), load("r1", "data")],
+                    [store("z0", 1), store("z1", 1), store("z2", 1)],
+                ],
+            ),
+        )
+    )
+    return programs
+
+
+def bench_enumeration(
+    programs: Optional[Sequence[Tuple[str, Program]]] = None,
+    repeat: int = 3,
+    stress: bool = True,
+) -> Dict:
+    """Time the default enumeration engine against the naive oracle.
+
+    Also cross-checks that both engines produce identical execution sets
+    on every program — a benchmark that silently diverged from the
+    oracle would be measuring the wrong thing.
+    """
+    if programs is None:
+        programs = _corpus_programs()
+        if stress:
+            programs = list(programs) + stress_programs()
+
+    per_program: List[Dict] = []
+    wall = {"naive": 0.0, "default": 0.0}
+    totals = {
+        "paths_naive": 0,
+        "paths_default": 0,
+        "steps_naive": 0,
+        "steps_default": 0,
+        "por_pruned": 0,
+        "memo_hits": 0,
+        "executions": 0,
+    }
+    for name, program in programs:
+        keys = {}
+        times = {}
+        for engine, naive in (("naive", True), ("default", False)):
+            best = None
+            for _ in range(max(1, repeat)):
+                t0 = time.perf_counter()
+                enum = enumerate_sc_executions(program, naive=naive)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+            keys[engine] = {e.canonical_key() for e in enum.executions}
+            times[engine] = best
+            wall[engine] += best
+            if naive:
+                totals["paths_naive"] += enum.stats.completed_paths
+                totals["steps_naive"] += enum.stats.steps
+            else:
+                totals["paths_default"] += enum.stats.completed_paths
+                totals["steps_default"] += enum.stats.steps
+                totals["por_pruned"] += enum.stats.por_pruned
+                totals["memo_hits"] += enum.stats.memo_hits
+                totals["executions"] += len(enum.executions)
+        if keys["naive"] != keys["default"]:
+            raise AssertionError(
+                f"engines disagree on {name}: naive found "
+                f"{len(keys['naive'])} executions, default {len(keys['default'])}"
+            )
+        per_program.append(
+            {
+                "program": name,
+                "wall_s_naive": times["naive"],
+                "wall_s_default": times["default"],
+                "speedup": times["naive"] / times["default"]
+                if times["default"] > 0
+                else float("inf"),
+            }
+        )
+
+    return {
+        "programs": len(per_program),
+        "repeat": repeat,
+        "wall_s_naive": wall["naive"],
+        "wall_s_default": wall["default"],
+        "speedup": wall["naive"] / wall["default"] if wall["default"] > 0 else float("inf"),
+        **totals,
+        "per_program": per_program,
+    }
+
+
+def bench_sweep(
+    scale: float = 0.25,
+    jobs: Optional[int] = None,
+    names: Sequence[str] = MICRO_NAMES,
+) -> Dict:
+    """Time the serial sweep against the process-pool sweep and verify the
+    figure CSV artifacts are byte-identical."""
+    jobs = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    serial = run_sweep(names, scale=scale)
+    wall_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_sweep_parallel(names, scale=scale, jobs=jobs)
+    wall_parallel = time.perf_counter() - t0
+
+    identical = (
+        time_csv(serial) == time_csv(parallel)
+        and energy_csv(serial) == energy_csv(parallel)
+    )
+    if not identical:
+        raise AssertionError("parallel sweep CSVs differ from serial")
+    return {
+        "workloads": list(names),
+        "scale": scale,
+        "jobs": jobs,
+        "simulations": len(serial.observations),
+        "wall_s_serial": wall_serial,
+        "wall_s_parallel": wall_parallel,
+        "speedup": wall_serial / wall_parallel if wall_parallel > 0 else float("inf"),
+        "csv_identical": identical,
+    }
+
+
+def run_bench(
+    out_dir: str = ".",
+    scale: float = 0.25,
+    jobs: Optional[int] = None,
+    repeat: int = 3,
+    sweep_names: Sequence[str] = MICRO_NAMES,
+    enum_programs: Optional[Sequence[Tuple[str, Program]]] = None,
+    stress: bool = True,
+) -> str:
+    """Run both benchmarks and write ``BENCH_<date>.json``; returns the path."""
+    record = {
+        "date": date.today().isoformat(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "enumeration": bench_enumeration(
+            programs=enum_programs, repeat=repeat, stress=stress
+        ),
+        "sweep": bench_sweep(scale=scale, jobs=jobs, names=sweep_names),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(
+        out_dir, f"BENCH_{date.today().strftime('%Y%m%d')}.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="sweep input scale (default 0.25)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="enumeration timing repetitions, best-of (default 3)")
+    parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke run (subset of workloads, scale 0.05)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        path = run_bench(
+            out_dir=args.out, scale=0.05, jobs=args.jobs, repeat=1,
+            sweep_names=("SC", "SEQ"), stress=False,
+        )
+    else:
+        path = run_bench(
+            out_dir=args.out, scale=args.scale, jobs=args.jobs, repeat=args.repeat,
+        )
+    with open(path) as handle:
+        record = json.load(handle)
+    enum = record["enumeration"]
+    sweep = record["sweep"]
+    print(f"wrote {path}")
+    print(
+        f"enumeration: {enum['programs']} programs, "
+        f"{enum['wall_s_naive']*1000:.1f}ms naive -> "
+        f"{enum['wall_s_default']*1000:.1f}ms default "
+        f"({enum['speedup']:.2f}x; paths {enum['paths_naive']} -> "
+        f"{enum['paths_default']}, por_pruned={enum['por_pruned']}, "
+        f"memo_hits={enum['memo_hits']})"
+    )
+    print(
+        f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
+        f"{sweep['wall_s_serial']:.2f}s serial -> "
+        f"{sweep['wall_s_parallel']:.2f}s with {sweep['jobs']} workers "
+        f"({sweep['speedup']:.2f}x; csv identical: {sweep['csv_identical']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,18 @@ from repro.sim.trace import Kernel
 #: Deterministic seed base for workload construction.
 WORKLOAD_SEED = 3437
 
+#: Canonical workload-name sets (Table 3 order).  The eval harness and the
+#: figure runners all draw from these single definitions; user-registered
+#: workloads (see examples/custom_workload.py) are not listed here.
+MICRO_NAMES: Tuple[str, ...] = ("H", "HG", "HG-NO", "Flags", "SC", "RC", "SEQ")
+BENCH_NAMES: Tuple[str, ...] = (
+    "UTS", "BC-1", "BC-2", "BC-3", "BC-4", "PR-1", "PR-2", "PR-3", "PR-4"
+)
+#: The atomic-heavy subset used for the Figure 1 motivation experiment.
+FIGURE1_NAMES: Tuple[str, ...] = (
+    "HG", "Flags", "SC", "RC", "SEQ", "UTS", "BC-4", "PR-1", "PR-4"
+)
+
 
 @dataclass(frozen=True)
 class Workload:

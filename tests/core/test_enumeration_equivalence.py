@@ -1,0 +1,84 @@
+"""The optimized enumeration engine against the naive oracle.
+
+The default engine (sleep-set partial-order reduction + copy-on-write
+path prefixes + canonical-state memo) must produce exactly the same
+execution set as the original full-clone interleaver on every program we
+have — the litmus library and the on-disk corpus — under every memo
+setting.  ``naive=True`` is the escape hatch that selects the oracle.
+"""
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.core.model import check
+from repro.litmus.corpus import load_corpus
+from repro.litmus.library import all_tests
+
+LIBRARY = [(t.name, t.program) for t in all_tests()]
+CORPUS = [(e.name, e.program) for e in load_corpus()]
+ALL_PROGRAMS = LIBRARY + CORPUS
+
+
+def _summary(enum):
+    return {e.canonical_key() for e in enum.executions}
+
+
+@pytest.mark.parametrize(
+    "name,program", ALL_PROGRAMS, ids=[n for n, _ in ALL_PROGRAMS]
+)
+def test_default_engine_matches_naive_oracle(name, program):
+    naive = enumerate_sc_executions(program, naive=True)
+    opt = enumerate_sc_executions(program)
+    assert _summary(opt) == _summary(naive)
+    assert opt.final_results() == naive.final_results()
+    # The reduction prunes redundant truncating paths too, so only the
+    # "some path hit a loop bound" flag must agree, not the count.
+    assert (opt.truncated_paths > 0) == (naive.truncated_paths > 0)
+    assert opt.stats.completed_paths <= naive.stats.completed_paths
+
+
+@pytest.mark.parametrize(
+    "name,program", ALL_PROGRAMS, ids=[n for n, _ in ALL_PROGRAMS]
+)
+@pytest.mark.parametrize("memo", [True, False])
+def test_memo_knob_does_not_change_results(name, program, memo):
+    naive = enumerate_sc_executions(program, naive=True)
+    opt = enumerate_sc_executions(program, memo=memo)
+    assert _summary(opt) == _summary(naive)
+
+
+def test_reduction_actually_prunes():
+    """On the whole library the reduction must explore strictly fewer
+    paths than the naive engine (otherwise it is dead code)."""
+    naive_paths = opt_paths = pruned = 0
+    for _, program in ALL_PROGRAMS:
+        naive_paths += enumerate_sc_executions(program, naive=True).stats.completed_paths
+        opt = enumerate_sc_executions(program)
+        opt_paths += opt.stats.completed_paths
+        pruned += opt.stats.por_pruned
+    assert opt_paths < naive_paths
+    assert pruned > 0
+
+
+def test_stats_engine_labels():
+    _, program = ALL_PROGRAMS[0]
+    assert enumerate_sc_executions(program, naive=True).stats.engine == "naive"
+    assert enumerate_sc_executions(program, memo=False).stats.engine == "por"
+    assert enumerate_sc_executions(program, memo=True).stats.engine == "por+memo"
+
+
+def test_max_executions_still_bounds():
+    for _, program in LIBRARY[:5]:
+        bounded = enumerate_sc_executions(program, max_executions=1)
+        assert len(bounded.executions) == 1
+
+
+@pytest.mark.parametrize("model", ["drf0", "drf1", "drfrlx"])
+def test_check_naive_escape_hatch_agrees(model):
+    """`check(..., naive=True)` runs the whole model checker on the oracle
+    engine and must reach the same verdicts."""
+    for entry in load_corpus()[:6]:
+        fast = check(entry.program, model)
+        slow = check(entry.program, model, naive=True)
+        assert fast.legal == slow.legal, entry.name
+        assert fast.race_kinds == slow.race_kinds, entry.name

@@ -97,9 +97,15 @@ class TestSingleThread:
 class TestInterleavings:
     def test_two_independent_writers(self):
         p = Program("p", [[store("x", 1)], [store("y", 1)]])
-        enum = enumerate_sc_executions(p)
+        enum = enumerate_sc_executions(p, naive=True)
         assert len(enum.executions) == 1  # same events/rf/co either way
         assert enum.interleavings == 2
+        # The default engine's partial-order reduction explores only the
+        # canonical one of the two equivalent orderings.
+        por = enumerate_sc_executions(p)
+        assert len(por.executions) == 1
+        assert por.interleavings == 1
+        assert por.stats.por_pruned == 1
 
     def test_conflicting_writers_two_coherence_orders(self):
         p = Program("p", [[store("x", 1)], [store("x", 2)]])

@@ -1,0 +1,1 @@
+"""Tests for repro.perf: pool, audit and bench harness."""

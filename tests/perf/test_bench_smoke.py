@@ -1,0 +1,74 @@
+"""Smoke tests for the perf harness: corpus audit and the bench CLI.
+
+The full benchmark is run by hand (``python -m repro.perf.bench``); here
+we only assert the harness runs end-to-end at tiny scale and emits a
+well-formed ``BENCH_<date>.json``.  Marked ``bench`` so it can be
+selected (or deselected) with ``pytest -m bench``.
+"""
+
+import json
+
+import pytest
+
+from repro.litmus.corpus import load_corpus
+from repro.perf.audit import audit_corpus
+from repro.perf.bench import bench_enumeration, run_bench, stress_programs
+
+
+def test_audit_corpus_all_ok():
+    results = audit_corpus(jobs=1)
+    assert len(results) >= 10
+    failures = [r.name for r in results if not r.ok]
+    assert failures == []
+    # Deterministic sorted-filename order.
+    assert [r.path for r in results] == sorted(r.path for r in results)
+
+
+def test_bench_enumeration_cross_checks():
+    """The enumeration bench is also a correctness check: it raises if the
+    engines disagree, and reports the work accounting."""
+    programs = [(e.name, e.program) for e in load_corpus()[:4]]
+    record = bench_enumeration(programs=programs, repeat=1)
+    assert record["programs"] == 4
+    assert record["paths_default"] <= record["paths_naive"]
+    assert len(record["per_program"]) == 4
+    for row in record["per_program"]:
+        assert row["wall_s_naive"] > 0 and row["wall_s_default"] > 0
+
+
+def test_stress_programs_build():
+    for name, program in stress_programs():
+        assert program.threads, name
+
+
+@pytest.mark.bench
+def test_bench_harness_emits_valid_json(tmp_path):
+    programs = [(e.name, e.program) for e in load_corpus()[:3]]
+    path = run_bench(
+        out_dir=str(tmp_path),
+        scale=0.05,
+        jobs=1,
+        repeat=1,
+        sweep_names=("SC",),
+        enum_programs=programs,
+        stress=False,
+    )
+    with open(path) as handle:
+        record = json.load(handle)
+    assert set(record) == {"date", "host", "enumeration", "sweep"}
+    assert record["host"]["cpu_count"] >= 1
+    enum = record["enumeration"]
+    assert enum["programs"] == 3
+    assert enum["wall_s_naive"] > 0 and enum["wall_s_default"] > 0
+    sweep = record["sweep"]
+    assert sweep["csv_identical"] is True
+    assert sweep["simulations"] == 6  # one workload x six configurations
+
+
+@pytest.mark.bench
+def test_bench_cli_quick(tmp_path, capsys):
+    from repro.perf.bench import main
+
+    assert main(["--quick", "--out", str(tmp_path), "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "enumeration:" in out and "sweep:" in out
