@@ -1,0 +1,266 @@
+"""Unified command-line front-end: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``figures`` — regenerate every table/figure artifact (previously
+  ``python -m repro.eval.reporting``);
+- ``bench`` — the perf/regression harness writing ``BENCH_<date>.json``
+  (previously ``python -m repro.perf.bench``);
+- ``audit`` — parallel litmus-corpus verdict audit (previously
+  ``python -m repro.perf.audit``);
+- ``trace`` — record one simulation or one litmus enumeration to JSONL
+  and Chrome ``trace_event`` files (see :mod:`repro.obs`);
+- ``litmus`` — check one library litmus test against all three models
+  (or list the library).
+
+The shared flags ``--jobs``, ``--out`` and ``--trace`` are declared once
+here and inherited by every subcommand; ``--trace`` defaults to the
+``REPRO_TRACE`` environment variable, so ``REPRO_TRACE=out/ python -m
+repro figures`` traces without touching the command line.  The old
+module entry points remain as thin deprecated shims that forward here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+#: Environment variable supplying the default ``--trace`` directory.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def _shared_flags() -> argparse.ArgumentParser:
+    """The flags every subcommand inherits, declared exactly once."""
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for parallel stages "
+             "(default: REPRO_JOBS, then the CPU count)",
+    )
+    shared.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default depends on the subcommand)",
+    )
+    shared.add_argument(
+        "--trace", default=os.environ.get(TRACE_ENV) or None, metavar="DIR",
+        help="write per-run JSONL + Chrome trace_event files into DIR "
+             f"(default: the {TRACE_ENV} environment variable)",
+    )
+    return shared
+
+
+# -- subcommands ---------------------------------------------------------------
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate every table and figure artifact."""
+    from repro.eval.reporting import generate_all
+
+    artifacts = generate_all(
+        out_dir=args.out or "results",
+        scale=args.scale,
+        jobs=args.jobs,
+        trace_dir=args.trace,
+    )
+    for name in sorted(artifacts):
+        print(f"== {name} " + "=" * max(0, 60 - len(name)))
+        print(artifacts[name])
+        print()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf harness and print its summary."""
+    from repro.perf.bench import run_bench, summarize
+
+    if args.quick:
+        path = run_bench(
+            out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
+            sweep_names=("SC", "SEQ"), stress=False,
+        )
+    else:
+        path = run_bench(
+            out_dir=args.out or ".", scale=args.scale, jobs=args.jobs,
+            repeat=args.repeat,
+        )
+    with open(path) as handle:
+        record = json.load(handle)
+    print(f"wrote {path}")
+    print(summarize(record))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Re-check every corpus file against its declared verdicts."""
+    from repro.perf.audit import audit_corpus
+
+    failures = 0
+    for result in audit_corpus(jobs=args.jobs):
+        status = "ok" if result.ok else "FAIL"
+        if not result.ok:
+            failures += 1
+        detail = " ".join(
+            f"{model}={'legal' if act else 'illegal'}"
+            + ("" if exp == act else f"(expected {'legal' if exp else 'illegal'})")
+            for model, (exp, act, _) in result.verdicts.items()
+        )
+        print(f"{status:4s} {result.name}: {detail}")
+    print(f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+def _write_trace_files(tracer, out_dir: str, stem: str) -> List[str]:
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    os.makedirs(out_dir, exist_ok=True)
+    return [
+        write_jsonl(tracer, os.path.join(out_dir, f"{stem}.jsonl")),
+        write_chrome_trace(
+            tracer, os.path.join(out_dir, f"{stem}.trace.json"),
+            process_name=stem,
+        ),
+    ]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one simulation (or litmus enumeration) to disk."""
+    from repro.obs.tracer import Tracer
+
+    out_dir = args.out or args.trace or "traces"
+    tracer = Tracer()
+    if args.litmus:
+        from repro.core.executions import enumerate_sc_executions
+        from repro.litmus.library import get as get_litmus
+
+        enum = enumerate_sc_executions(
+            get_litmus(args.target).program, tracer=tracer
+        )
+        paths = _write_trace_files(tracer, out_dir, f"litmus_{args.target}")
+        print(
+            f"{args.target}: {len(enum.executions)} distinct SC executions, "
+            f"{enum.stats.steps} steps, {len(tracer)} trace events"
+        )
+    else:
+        from repro.sim.config import INTEGRATED
+        from repro.sim.system import CONFIG_ABBREV, run_workload
+        from repro.workloads.base import get as get_workload
+
+        protocol, model = {v: k for k, v in CONFIG_ABBREV.items()}[args.config]
+        kernel = get_workload(args.target).build(INTEGRATED, args.scale)
+        result = run_workload(kernel, protocol, model, INTEGRATED, tracer=tracer)
+        paths = _write_trace_files(
+            tracer, out_dir, f"{args.target}_{args.config}"
+        )
+        print(
+            f"{args.target} on {args.config}: {result.cycles:.0f} cycles, "
+            f"{len(tracer)} trace events across "
+            f"{len(tracer.components())} components"
+        )
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_litmus(args: argparse.Namespace) -> int:
+    """Check a library litmus test (or list the library)."""
+    from repro.core.model import check, check_all_models
+    from repro.litmus.library import all_tests, get as get_litmus
+
+    if args.list or args.name is None:
+        for test in all_tests():
+            print(f"{test.name:32s} {test.description}")
+        return 0
+    test = get_litmus(args.name)
+    if args.model:
+        results = {args.model: check(test.program, args.model)}
+    else:
+        results = check_all_models(test.program)
+    mismatches = 0
+    for model, result in results.items():
+        expected = test.expected_legal.get(model)
+        note = ""
+        if expected is not None and expected != result.legal:
+            note = f"  << expected {'LEGAL' if expected else 'ILLEGAL'}"
+            mismatches += 1
+        print(result.summary() + note)
+    return 1 if mismatches else 0
+
+
+# -- parser / entry ------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    shared = _shared_flags()
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Chasing Away RAts' — unified front-end.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="SUBCOMMAND")
+
+    p = sub.add_parser(
+        "figures", parents=[shared],
+        help="regenerate every table/figure artifact (default --out results)",
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload input scale (default 1.0)")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "bench", parents=[shared],
+        help="perf harness; writes BENCH_<date>.json (default --out .)",
+    )
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="sweep input scale (default 0.25)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timing repetitions, best-of (default 3)")
+    p.add_argument("--quick", action="store_true",
+                   help="tiny smoke run (subset of workloads, scale 0.05)")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "audit", parents=[shared],
+        help="re-check the litmus corpus against its declared verdicts",
+    )
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "trace", parents=[shared],
+        help="trace one simulation or litmus enumeration "
+             "(default --out traces)",
+    )
+    p.add_argument("target", help="workload name (or litmus test with --litmus)")
+    p.add_argument("--litmus", action="store_true",
+                   help="trace the SC enumeration of a litmus test instead "
+                        "of a simulation")
+    p.add_argument("--config", default="GD0",
+                   choices=("GD0", "GD1", "GDR", "DD0", "DD1", "DDR"),
+                   help="simulated configuration (default GD0)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload input scale (default 0.25)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "litmus", parents=[shared],
+        help="check one library litmus test against the three models",
+    )
+    p.add_argument("name", nargs="?", help="litmus test name (omit to list)")
+    p.add_argument("--model", choices=("drf0", "drf1", "drfrlx"),
+                   help="check a single model (default: all three)")
+    p.add_argument("--list", action="store_true", help="list the library")
+    p.set_defaults(func=cmd_litmus)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.events import Event, Execution, RmwInfo
 from repro.core.labels import AtomicKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.litmus.ast import (
     Assign,
     Fence,
@@ -641,7 +642,10 @@ def _independent(op: Tuple[int, str, bool], loc: str, pure_read: bool) -> bool:
 
 
 def _enumerate_por(
-    program: Program, max_executions: Optional[int], memo_enabled: Optional[bool] = None
+    program: Program,
+    max_executions: Optional[int],
+    memo_enabled: Optional[bool] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> SCEnumeration:
     if memo_enabled is None:
         # Re-converging linearizations that survive the reduction need at
@@ -678,6 +682,8 @@ def _enumerate_por(
     seen: Set[Tuple] = set()
     memo: Set[Tuple] = set()
     executions: List[Execution] = []
+    trace_on = tracer.enabled
+    enum_scope = tracer.scope(f"enumerate:{program.name}", cycle=0.0, component="enum")
 
     # Entries: (thread states, ctx, path node, sleep set).  A sleep-set
     # entry (tid, loc, pure-read) records a thread whose pending op was
@@ -699,8 +705,18 @@ def _enumerate_por(
             if key not in seen:
                 seen.add(key)
                 executions.append(_materialize(chain, ctx.memory, states))
+                if trace_on:
+                    tracer.emit(
+                        stats.steps, "enum", "execution",
+                        distinct=len(executions), path=stats.completed_paths,
+                    )
                 if max_executions is not None and len(executions) >= max_executions:
                     break
+            elif trace_on:
+                tracer.emit(
+                    stats.steps, "enum", "duplicate_path",
+                    path=stats.completed_paths,
+                )
             continue
 
         sleeping_tids = {op[0] for op in sleep}
@@ -708,6 +724,8 @@ def _enumerate_por(
         for state in runnable:
             if state.tid in sleeping_tids:
                 stats.por_pruned += 1
+                if trace_on:
+                    tracer.emit(stats.steps, "enum", "por_prune", tid=state.tid)
                 continue
             loc = state.pending_loc()
             pure_read = isinstance(state.pending, Load)
@@ -724,6 +742,11 @@ def _enumerate_por(
                 target = state.clone()
                 new_node, _, _ = _apply_op(target, new_ctx, choice, node)
                 stats.steps += 1
+                if trace_on:
+                    tracer.emit(
+                        stats.steps, "enum", "step",
+                        tid=state.tid, loc=loc, depth=new_ctx.next_eid,
+                    )
                 try:
                     target.advance()
                 except _Truncated:
@@ -739,11 +762,14 @@ def _enumerate_por(
                     )
                     if memo_key in memo:
                         stats.memo_hits += 1
+                        if trace_on:
+                            tracer.emit(stats.steps, "enum", "memo_hit", tid=state.tid)
                         continue
                     memo.add(memo_key)
                 stack.append((new_states, new_ctx, new_node, child_sleep))
             explored.append((state.tid, loc, pure_read))
 
+    enum_scope.close(stats.steps)
     return SCEnumeration(
         program=program,
         executions=tuple(executions),
@@ -759,9 +785,13 @@ def _enumerate_por(
 
 
 def _enumerate_naive(
-    program: Program, max_executions: Optional[int]
+    program: Program,
+    max_executions: Optional[int],
+    tracer: Tracer = NULL_TRACER,
 ) -> SCEnumeration:
     stats = EnumStats(engine="naive")
+    trace_on = tracer.enabled
+    enum_scope = tracer.scope(f"enumerate:{program.name}", cycle=0.0, component="enum")
     init_builder = _Builder()
     init_memory: Dict[str, int] = {}
     # Initial writes: one per location, first in T, excluded from races.
@@ -825,6 +855,11 @@ def _enumerate_naive(
             if key not in seen:
                 seen.add(key)
                 executions.append(execution)
+                if trace_on:
+                    tracer.emit(
+                        stats.steps, "enum", "execution",
+                        distinct=len(executions), path=stats.completed_paths,
+                    )
                 if max_executions is not None and len(executions) >= max_executions:
                     break
             continue
@@ -837,8 +872,11 @@ def _enumerate_naive(
                 target = next(s for s in new_states if s.tid == state.tid)
                 _execute_memory_op(target, new_builder, new_memory, choice)
                 stats.steps += 1
+                if trace_on:
+                    tracer.emit(stats.steps, "enum", "step", tid=state.tid)
                 stack.append((new_states, new_memory, new_builder))
 
+    enum_scope.close(stats.steps)
     return SCEnumeration(
         program=program,
         executions=tuple(executions),
@@ -853,6 +891,7 @@ def enumerate_sc_executions(
     max_executions: Optional[int] = None,
     naive: bool = False,
     memo: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SCEnumeration:
     """Enumerate every SC execution of *program* (deduplicated).
 
@@ -864,7 +903,11 @@ def enumerate_sc_executions(
     (``None``) enables it for programs with three or more threads, the
     only case where hits can occur (a perf-attribution knob for the
     bench harness).
+    ``tracer`` records one event per search step / POR prune / memo hit
+    / distinct execution ("cycle" is the step count); the default is the
+    no-op tracer.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     if naive:
-        return _enumerate_naive(program, max_executions)
-    return _enumerate_por(program, max_executions, memo_enabled=memo)
+        return _enumerate_naive(program, max_executions, tracer=tracer)
+    return _enumerate_por(program, max_executions, memo_enabled=memo, tracer=tracer)

@@ -8,7 +8,7 @@ checker rather than the simulator.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.model import check
 from repro.eval.harness import (
@@ -48,9 +48,9 @@ def render_energy_figure(sweep: SweepResult, title: str) -> str:
     return "\n".join(lines)
 
 
-def figure1(scale: float = 1.0) -> str:
+def figure1(scale: float = 1.0, jobs: Optional[int] = None) -> str:
     """Figure 1: relaxed vs SC atomic speedup on the discrete GPU."""
-    speedups = run_figure1(scale)
+    speedups = run_figure1(scale, jobs=jobs)
     lines = ["Figure 1 — relaxed-atomics speedup over SC atomics (discrete GPU)"]
     for name, s in speedups.items():
         lines.append(f"  {name:8s} {s:6.2f}x  {_bar(s, full=2.0)}")
@@ -74,8 +74,12 @@ def figure2() -> str:
     return "\n".join(lines)
 
 
-def figure3(scale: float = 1.0) -> Tuple[SweepResult, str]:
-    sweep = run_figure3(scale)
+def figure3(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> Tuple[SweepResult, str]:
+    sweep = run_figure3(scale, jobs=jobs, trace_dir=trace_dir)
     text = (
         render_time_figure(sweep, "Figure 3(a): microbenchmarks")
         + "\n\n"
@@ -84,8 +88,12 @@ def figure3(scale: float = 1.0) -> Tuple[SweepResult, str]:
     return sweep, text
 
 
-def figure4(scale: float = 1.0) -> Tuple[SweepResult, str]:
-    sweep = run_figure4(scale)
+def figure4(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> Tuple[SweepResult, str]:
+    sweep = run_figure4(scale, jobs=jobs, trace_dir=trace_dir)
     text = (
         render_time_figure(sweep, "Figure 4(a): benchmarks")
         + "\n\n"

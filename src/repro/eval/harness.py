@@ -2,20 +2,32 @@
 collect the execution-time / energy observations behind Figures 3 and 4.
 
 The sweep is embarrassingly parallel — every (workload, configuration)
-pair is an independent simulation — so :func:`run_sweep_parallel` fans
-the grid out over a process pool (see :mod:`repro.perf.pool`; worker
-count from the ``jobs`` argument, the ``REPRO_JOBS`` environment
-variable, or the CPU count).  Results are collected in deterministic
-task order, so figures, tables and CSV exports are byte-identical to a
-serial :func:`run_sweep`.
+pair is an independent simulation — so :func:`run_sweep` fans the grid
+out over a process pool when asked (``jobs`` argument; see
+:mod:`repro.perf.pool` — ``jobs=1`` runs serially in-process,
+``jobs=None`` resolves via ``REPRO_JOBS`` then the CPU count).  Results
+are collected in deterministic task order, so figures, tables and CSV
+exports are byte-identical regardless of worker count.
+
+Pass ``trace_dir`` to record a per-(workload, configuration) event
+trace (see :mod:`repro.obs`): each cell writes
+``<workload>_<CFG>.jsonl`` and ``<workload>_<CFG>.trace.json`` (Chrome
+``trace_event``, Perfetto-loadable) into that directory.  Tracing
+happens inside the worker that runs the cell, so it composes with the
+process pool, and it never touches the returned observations — CSVs and
+figures stay byte-identical with tracing on.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.tracer import Tracer
 from repro.perf.pool import parallel_map
 from repro.sim.config import INTEGRATED, SystemConfig
 from repro.sim.system import CONFIG_ABBREV, RunResult, all_configurations, run_workload
@@ -108,8 +120,9 @@ class SweepResult:
 
 # -- sweep task plumbing -------------------------------------------------------
 
-#: One simulation: (workload name, protocol, model, config, scale, energy model).
-_SweepTask = Tuple[str, str, str, SystemConfig, float, EnergyModel]
+#: One simulation: (workload name, protocol, model, config, scale,
+#: energy model, trace directory or None).
+_SweepTask = Tuple[str, str, str, SystemConfig, float, EnergyModel, Optional[str]]
 
 
 def _sweep_tasks(
@@ -117,9 +130,10 @@ def _sweep_tasks(
     config: SystemConfig,
     scale: float,
     energy_model: EnergyModel,
+    trace_dir: Optional[str] = None,
 ) -> List[_SweepTask]:
     return [
-        (name, protocol, model, config, scale, energy_model)
+        (name, protocol, model, config, scale, energy_model, trace_dir)
         for name in workload_names
         for protocol, model in all_configurations()
     ]
@@ -128,12 +142,22 @@ def _sweep_tasks(
 def _run_sweep_task(task: _SweepTask) -> Observation:
     """Worker for one (workload, configuration) cell; module-level so it is
     picklable by reference into a process pool."""
-    name, protocol, model, config, scale, energy_model = task
+    name, protocol, model, config, scale, energy_model, trace_dir = task
     kernel = get(name).build(config, scale)
-    result = run_workload(kernel, protocol, model, config)
+    tracer = Tracer() if trace_dir is not None else None
+    result = run_workload(kernel, protocol, model, config, tracer=tracer)
+    cfg = CONFIG_ABBREV[(protocol, model)]
+    if tracer is not None:
+        stem = f"{name}_{cfg}"
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        write_jsonl(tracer, str(out / f"{stem}.jsonl"))
+        write_chrome_trace(
+            tracer, str(out / f"{stem}.trace.json"), process_name=stem
+        )
     return Observation(
         workload=name,
-        config=CONFIG_ABBREV[(protocol, model)],
+        config=cfg,
         cycles=result.cycles,
         energy_nj=energy_model.breakdown(result.stats),
     )
@@ -144,11 +168,26 @@ def run_sweep(
     config: SystemConfig = INTEGRATED,
     scale: float = 1.0,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    jobs: Optional[int] = 1,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
-    """Run every named workload on all six configurations, serially."""
+    """Run every named workload on all six configurations.
+
+    ``jobs=1`` (the default) runs serially in-process; ``jobs=None``
+    resolves a worker count via ``REPRO_JOBS`` then the CPU count;
+    ``jobs=N`` fans the grid out over a process pool of N workers.
+    Unpicklable tasks (e.g. workloads registered only in this process)
+    fall back to the serial path.  Observations are collected in task
+    order, so results are byte-identical regardless of worker count.
+
+    ``trace_dir`` records a per-cell event trace (JSONL + Chrome
+    ``trace_event``) into that directory without touching the returned
+    observations.
+    """
     sweep = SweepResult()
-    for task in _sweep_tasks(workload_names, config, scale, energy_model):
-        sweep.add(_run_sweep_task(task))
+    tasks = _sweep_tasks(workload_names, config, scale, energy_model, trace_dir)
+    for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
+        sweep.add(obs)
     return sweep
 
 
@@ -158,20 +197,19 @@ def run_sweep_parallel(
     scale: float = 1.0,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
-    """Like :func:`run_sweep`, fanned out over a process pool.
-
-    ``jobs=None`` resolves via ``REPRO_JOBS`` then the CPU count;
-    ``jobs=1``, a single task, or workloads that cannot be shipped to a
-    worker process (e.g. registered only in this process) fall back to
-    the serial path.  Observations are added in the same deterministic
-    order as :func:`run_sweep`, so results are byte-identical.
-    """
-    sweep = SweepResult()
-    tasks = _sweep_tasks(workload_names, config, scale, energy_model)
-    for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
-        sweep.add(obs)
-    return sweep
+    """Deprecated alias for ``run_sweep(..., jobs=jobs)`` (default:
+    auto-resolved worker count)."""
+    warnings.warn(
+        "run_sweep_parallel is deprecated; use run_sweep(..., jobs=N) "
+        "(jobs=None auto-resolves the worker count)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_sweep(
+        workload_names, config, scale, energy_model, jobs=jobs, trace_dir=trace_dir
+    )
 
 
 def micro_names() -> Tuple[str, ...]:
@@ -182,14 +220,22 @@ def bench_names() -> Tuple[str, ...]:
     return BENCH_NAMES
 
 
-def run_figure3(scale: float = 1.0, jobs: Optional[int] = None) -> SweepResult:
+def run_figure3(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> SweepResult:
     """Figure 3: all microbenchmarks, 6 configurations."""
-    return run_sweep_parallel(micro_names(), scale=scale, jobs=jobs)
+    return run_sweep(micro_names(), scale=scale, jobs=jobs, trace_dir=trace_dir)
 
 
-def run_figure4(scale: float = 1.0, jobs: Optional[int] = None) -> SweepResult:
+def run_figure4(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> SweepResult:
     """Figure 4: UTS + BC(4 graphs) + PR(4 graphs), 6 configurations."""
-    return run_sweep_parallel(bench_names(), scale=scale, jobs=jobs)
+    return run_sweep(bench_names(), scale=scale, jobs=jobs, trace_dir=trace_dir)
 
 
 def _run_figure1_task(task: Tuple[str, str, float]) -> Tuple[str, str, float]:

@@ -1,13 +1,14 @@
 """Top-level reporting: regenerate every table and figure in one call.
 
-``python -m repro.eval.reporting`` writes all artifacts to ``results/``.
+``python -m repro figures`` writes all artifacts to ``results/``
+(``python -m repro.eval.reporting`` is a deprecated alias).
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.eval import figures, tables
 from repro.eval.harness import CONFIG_ORDER, SweepResult
@@ -34,8 +35,19 @@ def headline_averages(sweep: SweepResult) -> str:
     return "\n".join(lines)
 
 
-def generate_all(out_dir: str = "results", scale: float = 1.0) -> Dict[str, str]:
-    """Regenerate every table and figure; returns artifact name -> text."""
+def generate_all(
+    out_dir: str = "results",
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> Dict[str, str]:
+    """Regenerate every table and figure; returns artifact name -> text.
+
+    ``jobs`` sets the sweep worker count (``None`` auto-resolves);
+    ``trace_dir`` additionally records a per-(workload, configuration)
+    trace for the Figure 3/4 sweeps (see :mod:`repro.obs`) without
+    changing any artifact byte.
+    """
     artifacts: Dict[str, str] = {}
     artifacts["table1.txt"] = tables.table1()
     artifacts["table2.txt"] = tables.table2()
@@ -45,11 +57,11 @@ def generate_all(out_dir: str = "results", scale: float = 1.0) -> Dict[str, str]
     from repro.core.cat_export import listing7_cat
 
     artifacts["listing7.cat"] = listing7_cat()
-    artifacts["figure1.txt"] = figures.figure1(scale)
+    artifacts["figure1.txt"] = figures.figure1(scale, jobs=jobs)
     artifacts["figure2.txt"] = figures.figure2()
-    sweep3, text3 = figures.figure3(scale)
+    sweep3, text3 = figures.figure3(scale, jobs=jobs, trace_dir=trace_dir)
     artifacts["figure3.txt"] = text3 + "\n\n" + headline_averages(sweep3)
-    sweep4, text4 = figures.figure4(scale)
+    sweep4, text4 = figures.figure4(scale, jobs=jobs, trace_dir=trace_dir)
     artifacts["figure4.txt"] = text4 + "\n\n" + headline_averages(sweep4)
 
     os.makedirs(out_dir, exist_ok=True)
@@ -71,14 +83,20 @@ def generate_all(out_dir: str = "results", scale: float = 1.0) -> Dict[str, str]
 
 
 def main(argv=None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    scale = float(args[0]) if args else 1.0
-    artifacts = generate_all(scale=scale)
-    for name in sorted(artifacts):
-        print(f"== {name} " + "=" * max(0, 60 - len(name)))
-        print(artifacts[name])
-        print()
-    return 0
+    """Deprecated shim: forwards to ``python -m repro figures``."""
+    print(
+        "note: `python -m repro.eval.reporting` is deprecated; "
+        "use `python -m repro figures`",
+        file=sys.stderr,
+    )
+    from repro.cli import main as cli_main
+
+    args = list(argv) if argv is not None else sys.argv[1:]
+    # The old entry point took a single optional positional scale.
+    forwarded = ["figures"]
+    if args:
+        forwarded += ["--scale", args[0]]
+    return cli_main(forwarded)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,183 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` files.
+
+Two on-disk formats for one :class:`~repro.obs.tracer.Tracer`:
+
+- **JSONL** (:func:`to_jsonl`): one JSON object per event, in emission
+  order, with sorted keys — grep/jq-friendly and byte-deterministic, so
+  golden-trace tests can diff it directly.
+- **Chrome trace_event** (:func:`chrome_trace` / :func:`write_chrome_trace`):
+  the JSON object format consumed by Perfetto and ``chrome://tracing``.
+  Simulator cycles map 1:1 onto the format's microsecond timestamps
+  (the viewer's time axis reads as cycles); each component becomes a
+  named thread row.  :func:`validate_chrome_trace` checks conformance
+  and is used by the test suite.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+TraceSource = Union[Tracer, Sequence[TraceEvent]]
+
+#: ``ph`` values this exporter produces (a subset of the format).
+_PHASES_PRODUCED = ("X", "i", "M")
+#: ``ph`` values the validator accepts (superset; hand-written traces).
+_PHASES_VALID = frozenset("BEXiIMCbnesftPNOD")
+
+
+def _events(source: TraceSource) -> Sequence[TraceEvent]:
+    return source.events if isinstance(source, Tracer) else source
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def jsonl_lines(source: TraceSource) -> Iterable[str]:
+    """The trace as JSON lines (no trailing newlines), emission order."""
+    for event in _events(source):
+        yield json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonl(source: TraceSource) -> str:
+    out = io.StringIO()
+    for line in jsonl_lines(source):
+        out.write(line)
+        out.write("\n")
+    return out.getvalue()
+
+
+def write_jsonl(source: TraceSource, path: str) -> str:
+    with open(path, "w") as handle:
+        handle.write(to_jsonl(source))
+    return path
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts (for tests/tools)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+def chrome_trace(source: TraceSource, process_name: str = "repro") -> Dict[str, Any]:
+    """The trace as a Chrome ``trace_event`` JSON object.
+
+    Spans become complete (``X``) events, instants become ``i`` events;
+    every component gets its own ``tid`` with a ``thread_name`` metadata
+    record so Perfetto shows one labelled row per component.
+    """
+    events = _events(source)
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for event in events:
+        tid = tids.get(event.component)
+        if tid is None:
+            tid = len(tids)
+            tids[event.component] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": event.component},
+                }
+            )
+        args = dict(event.attrs)
+        if event.scope:
+            args["scope"] = event.scope
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.component,
+            "pid": 0,
+            "tid": tid,
+            "ts": event.cycle,
+            "args": args,
+        }
+        if event.dur is not None:
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated cycles (1 cycle = 1 us on the axis)"},
+    }
+
+
+def write_chrome_trace(source: TraceSource, path: str, process_name: str = "repro") -> str:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(source, process_name), handle, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Check *obj* against the ``trace_event`` JSON object format.
+
+    Returns a list of violations (empty when the trace conforms).  Covers
+    the constraints the viewers actually enforce: the ``traceEvents``
+    array, per-event required keys by phase, numeric timestamps, and
+    non-negative durations.
+    """
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"trace must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace object must contain a 'traceEvents' array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in _PHASES_VALID:
+            errors.append(f"{where}: invalid phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if ph == "M":
+            if event.get("name") not in (
+                "process_name", "process_labels", "process_sort_index",
+                "thread_name", "thread_sort_index",
+            ):
+                errors.append(f"{where}: unknown metadata event {event.get('name')!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                errors.append(f"{where}: 'X' event missing numeric 'dur'")
+            elif dur < 0:
+                errors.append(f"{where}: negative 'dur' {dur}")
+        if ph == "i" and event.get("s") not in (None, "g", "p", "t"):
+            errors.append(f"{where}: instant scope must be 'g', 'p' or 't'")
+    return errors

@@ -63,21 +63,20 @@ def audit_corpus(
 
 
 def main(argv=None) -> int:
+    """Deprecated shim: forwards to ``python -m repro audit``."""
+    print(
+        "note: `python -m repro.perf.audit` is deprecated; "
+        "use `python -m repro audit`",
+        file=sys.stderr,
+    )
+    from repro.cli import main as cli_main
+
     args = argv if argv is not None else sys.argv[1:]
-    jobs = int(args[0]) if args else None
-    failures = 0
-    for result in audit_corpus(jobs=jobs):
-        status = "ok" if result.ok else "FAIL"
-        if not result.ok:
-            failures += 1
-        detail = " ".join(
-            f"{model}={'legal' if act else 'illegal'}"
-            + ("" if exp == act else f"(expected {'legal' if exp else 'illegal'})")
-            for model, (exp, act, _) in result.verdicts.items()
-        )
-        print(f"{status:4s} {result.name}: {detail}")
-    print(f"{failures} failure(s)")
-    return 1 if failures else 0
+    # The old entry point took a single optional positional worker count.
+    forwarded = ["audit"]
+    if args:
+        forwarded += ["--jobs", str(args[0])]
+    return cli_main(forwarded)
 
 
 if __name__ == "__main__":

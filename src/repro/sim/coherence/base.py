@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import stats as S
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Resource
@@ -36,16 +37,24 @@ class CoherenceProtocol:
         l2: L2System,
         stats: SimStats,
         peers: Dict[int, "CoherenceProtocol"],
+        tracer: Tracer = NULL_TRACER,
     ):
         self.node = node
         self.config = config
         self.mesh = mesh
         self.l2 = l2
         self.stats = stats
-        self.l1 = L1Cache(config.l1_sets(), config.l1_assoc, config.line_bytes)
-        self.mshr = MshrFile(config.l1_mshrs)
-        self.store_buffer = StoreBuffer(config.store_buffer_entries)
-        self.l1_port = Resource(f"l1@{node}")
+        self.tracer = tracer
+        self.component = f"core{node}"
+        self.l1 = L1Cache(
+            config.l1_sets(), config.l1_assoc, config.line_bytes,
+            tracer=tracer, component=f"l1@{node}",
+        )
+        self.mshr = MshrFile(config.l1_mshrs, tracer=tracer, component=f"mshr@{node}")
+        self.store_buffer = StoreBuffer(
+            config.store_buffer_entries, tracer=tracer, component=f"sb@{node}"
+        )
+        self.l1_port = Resource(f"l1@{node}", tracer)
         #: node -> protocol instance of every core, shared system-wide;
         #: DeNovo transfers lines / steals word registrations through it.
         self.peers = peers

@@ -79,6 +79,11 @@ class DeNovoCoherence(CoherenceProtocol):
             if peer is not None:
                 peer.l1.invalidate_line(line)
             bank.register(line, self.node)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "remote_transfer", dur=resp.arrival - now,
+                line=line, owner=owner, take_ownership=take_ownership,
+            )
         return resp.arrival
 
     def _fetch_line(self, now: float, line: int, take_ownership: bool) -> float:
@@ -118,6 +123,11 @@ class DeNovoCoherence(CoherenceProtocol):
         self._noc(resp)
         bank.word_owner[word] = self.node
         self.owned_words.add(word)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "word_registration", dur=resp.arrival - now,
+                word=word, stolen_from=owner if owner != self.node else None,
+            )
         return resp.arrival
 
     def _evict(self, victim) -> None:
@@ -130,7 +140,9 @@ class DeNovoCoherence(CoherenceProtocol):
             self._noc(out)
             self.l2.banks[home].unregister(line, self.node)
             self.stats.bump(S.L2_ACCESS)
-            self.stats.bump("denovo_writebacks")
+            self.stats.bump(S.DENOVO_WRITEBACKS)
+            if self.tracer.enabled:
+                self.tracer.emit(0.0, self.component, "writeback", line=line)
 
     # -- protocol interface ---------------------------------------------------------
     def load(self, now: float, addr: int) -> float:
@@ -143,7 +155,7 @@ class DeNovoCoherence(CoherenceProtocol):
         self.stats.bump(S.L1_MISS)
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
-            self.mshr.coalesce(line)
+            self.mshr.coalesce(line, now)
             self.stats.bump(S.MSHR_COALESCE)
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._fetch_line(now, line, take_ownership=False)
@@ -164,7 +176,7 @@ class DeNovoCoherence(CoherenceProtocol):
             return self.l1_port.acquire(now, self.config.l1_hit_latency)
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
-            self.mshr.coalesce(line)
+            self.mshr.coalesce(line, now)
             self.stats.bump(S.MSHR_COALESCE)
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._fetch_line(now, line, take_ownership=True)
@@ -181,6 +193,11 @@ class DeNovoCoherence(CoherenceProtocol):
         word = self.word_of(addr)
         self.stats.bump(S.ATOMIC_ISSUED)
         self.stats.bump(S.L1_ACCESS)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "atomic",
+                word=word, rmw=is_rmw, at="l1", owned=word in self.owned_words,
+            )
         # Retire resolved word misses.
         done = [w for w, m in self._word_misses.items() if m.ready_at <= now]
         for w in done:
@@ -218,7 +235,7 @@ class DeNovoCoherence(CoherenceProtocol):
         return self.l1_port.acquire(ready, self.config.l1_atomic_service)
 
     def acquire(self, now: float) -> float:
-        dropped = self.l1.self_invalidate()  # registered data survives
+        dropped = self.l1.self_invalidate(now)  # registered data survives
         self.stats.bump(S.L1_INVALIDATE)
-        self.stats.bump("l1_lines_invalidated", dropped)
+        self.stats.bump(S.L1_LINES_INVALIDATED, dropped)
         return now + self.config.cache_invalidate_cycles

@@ -27,13 +27,17 @@ class GpuCoherence(CoherenceProtocol):
         self.stats.bump(S.L1_MISS)
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
-            self.mshr.coalesce(line)
+            self.mshr.coalesce(line, now)
             self.stats.bump(S.MSHR_COALESCE)
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._l2_fetch(now, line)
         if pending is None and not self.mshr.full:
             self.mshr.allocate(line, ready)
         self.l1.fill(addr, LineState.VALID, now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "load_miss", dur=ready - now, line=line,
+            )
         return ready
 
     def store(self, now: float, addr: int) -> float:
@@ -42,7 +46,12 @@ class GpuCoherence(CoherenceProtocol):
         line = self.line_of(addr)
         self.stats.bump(S.L1_ACCESS)
         self.stats.bump(S.SB_WRITE)
-        return self._l2_writethrough(now, line)
+        done = self._l2_writethrough(now, line)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "store", dur=done - now, line=line,
+            )
+        return done
 
     def atomic(self, now: float, addr: int, is_rmw: bool = True) -> float:
         """All atomics execute at the LLC; the bank port serializes them.
@@ -51,10 +60,16 @@ class GpuCoherence(CoherenceProtocol):
         line = self.line_of(addr)
         self.stats.bump(S.ATOMIC_ISSUED)
         self.stats.bump(S.L2_ATOMIC)
-        return self._l2_fetch(now, line, atomic=is_rmw)
+        done = self._l2_fetch(now, line, atomic=is_rmw)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "atomic", dur=done - now,
+                line=line, rmw=is_rmw, at="l2",
+            )
+        return done
 
     def acquire(self, now: float) -> float:
-        dropped = self.l1.invalidate_all()
+        dropped = self.l1.invalidate_all(now)
         self.stats.bump(S.L1_INVALIDATE)
-        self.stats.bump("l1_lines_invalidated", dropped)
+        self.stats.bump(S.L1_LINES_INVALIDATED, dropped)
         return now + self.config.cache_invalidate_cycles

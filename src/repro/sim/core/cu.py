@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import stats as S
 from repro.sim.coherence.base import CoherenceProtocol
 from repro.sim.config import SystemConfig
@@ -58,13 +59,15 @@ class ComputeUnit:
         protocol: CoherenceProtocol,
         model: ConsistencyModel,
         stats: SimStats,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.node = node
         self.config = config
         self.protocol = protocol
         self.model = model
         self.stats = stats
-        self.issue_port = Resource(f"issue@{node}")
+        self.tracer = tracer
+        self.issue_port = Resource(f"issue@{node}", tracer)
         self.scratchpad = Scratchpad()
         self.warps: List[Warp] = []
 

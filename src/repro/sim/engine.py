@@ -18,21 +18,27 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 class Resource:
     """A FIFO server: requests are serviced in arrival order, one at a time.
 
     ``acquire(t, service)`` returns the completion time of a request that
     arrives at ``t`` and occupies the server for ``service`` cycles.
+    When a live tracer is attached, every acquisition emits a ``busy``
+    span (start, service, queueing wait), which is where port/link
+    occupancy timelines come from.
     """
 
-    __slots__ = ("name", "next_free", "busy_cycles", "requests")
+    __slots__ = ("name", "next_free", "busy_cycles", "requests", "tracer")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, tracer: Tracer = NULL_TRACER):
         self.name = name
         self.next_free: float = 0.0
         self.busy_cycles: float = 0.0
         self.requests: int = 0
+        self.tracer = tracer
 
     def acquire(self, now: float, service: float) -> float:
         start = max(now, self.next_free)
@@ -40,6 +46,8 @@ class Resource:
         self.next_free = end
         self.busy_cycles += service
         self.requests += 1
+        if self.tracer.enabled:
+            self.tracer.emit(start, self.name, "busy", dur=service, wait=start - now)
         return end
 
     def utilization(self, horizon: float) -> float:

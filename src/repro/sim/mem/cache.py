@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 class LineState(enum.Enum):
     INVALID = "invalid"
@@ -35,13 +37,22 @@ class CacheLine:
 class L1Cache:
     """Tag array with LRU replacement inside each set."""
 
-    def __init__(self, sets: int, assoc: int, line_bytes: int):
+    def __init__(
+        self,
+        sets: int,
+        assoc: int,
+        line_bytes: int,
+        tracer: Tracer = NULL_TRACER,
+        component: str = "l1",
+    ):
         if sets < 1 or assoc < 1:
             raise ValueError("cache needs at least one set and one way")
         self.sets = sets
         self.assoc = assoc
         self.line_bytes = line_bytes
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(sets)]
+        self.tracer = tracer
+        self.component = component
 
     def line_addr(self, addr: int) -> int:
         return addr // self.line_bytes
@@ -78,13 +89,20 @@ class L1Cache:
             victim = (evicted.tag, evicted.state)
             del cache_set[evicted.tag]
         cache_set[line] = CacheLine(tag=line, state=state, last_use=now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "fill",
+                line=line, state=state.value,
+                evicted=victim[0] if victim else None,
+                occupancy=self.occupancy(),
+            )
         return victim
 
     def invalidate_line(self, line: int) -> None:
         cache_set = self._sets[line % self.sets]
         cache_set.pop(line, None)
 
-    def self_invalidate(self) -> int:
+    def self_invalidate(self, now: float = 0.0) -> int:
         """Flash-invalidate every VALID (non-registered) line; returns the
         number of lines dropped.  This is the acquire action of both
         protocols; DeNovo keeps REGISTERED lines."""
@@ -94,14 +112,23 @@ class L1Cache:
             for tag in stale:
                 del cache_set[tag]
                 dropped += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "self_invalidate",
+                dropped=dropped, kept=self.occupancy(),
+            )
         return dropped
 
-    def invalidate_all(self) -> int:
+    def invalidate_all(self, now: float = 0.0) -> int:
         """Drop everything (GPU coherence acquire; no registered lines exist)."""
         dropped = 0
         for cache_set in self._sets:
             dropped += len(cache_set)
             cache_set.clear()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "invalidate_all", dropped=dropped,
+            )
         return dropped
 
     def registered_lines(self) -> Iterable[int]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Resource
 
@@ -25,11 +26,13 @@ class BankAccess:
 
 
 class L2Bank:
-    def __init__(self, node: int, config: SystemConfig):
+    def __init__(self, node: int, config: SystemConfig, tracer: Tracer = NULL_TRACER):
         self.node = node
         self.config = config
-        self.port = Resource(f"l2bank@{node}")
-        self.dram = Resource(f"dram@{node}")
+        self.tracer = tracer
+        self.component = f"l2bank@{node}"
+        self.port = Resource(f"l2bank@{node}", tracer)
+        self.dram = Resource(f"dram@{node}", tracer)
         #: Lines this bank currently holds (a simple capacity-less filter:
         #: the first touch of a line is a miss, later touches hit — the
         #: workloads' footprints fit the 4 MB L2, matching the paper).
@@ -59,6 +62,11 @@ class L2Bank:
             )
             self._present.add(line)
             self.dram_accesses += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                arrival, self.component, "access", dur=done - arrival,
+                line=line, atomic=atomic, hit=hit,
+            )
         return BankAccess(done=done, l2_hit=hit)
 
     # -- DeNovo registry ---------------------------------------------------------
@@ -79,11 +87,11 @@ class L2Bank:
 class L2System:
     """All banks plus the home-mapping function."""
 
-    def __init__(self, config: SystemConfig, nodes: List[int]):
+    def __init__(self, config: SystemConfig, nodes: List[int], tracer: Tracer = NULL_TRACER):
         if not nodes:
             raise ValueError("need at least one L2 bank node")
         self.config = config
-        self.banks: Dict[int, L2Bank] = {n: L2Bank(n, config) for n in nodes}
+        self.banks: Dict[int, L2Bank] = {n: L2Bank(n, config, tracer) for n in nodes}
         self._nodes = list(nodes)
 
     def home_node(self, line: int) -> int:

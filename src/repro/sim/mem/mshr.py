@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 @dataclass
 class MshrEntry:
@@ -21,13 +23,15 @@ class MshrEntry:
 
 
 class MshrFile:
-    def __init__(self, entries: int):
+    def __init__(self, entries: int, tracer: Tracer = NULL_TRACER, component: str = "mshr"):
         if entries < 1:
             raise ValueError("need at least one MSHR")
         self.capacity = entries
         self._entries: Dict[int, MshrEntry] = {}
         self.total_allocations = 0
         self.total_coalesced = 0
+        self.tracer = tracer
+        self.component = component
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,12 +57,22 @@ class MshrFile:
         entry = MshrEntry(line=line, ready_at=ready_at)
         self._entries[line] = entry
         self.total_allocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ready_at, self.component, "alloc",
+                line=line, occupancy=len(self._entries),
+            )
         return entry
 
-    def coalesce(self, line: int) -> MshrEntry:
+    def coalesce(self, line: int, now: float = 0.0) -> MshrEntry:
         entry = self._entries[line]
         entry.coalesced += 1
         self.total_coalesced += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "coalesce",
+                line=line, riders=entry.coalesced,
+            )
         return entry
 
     def retire(self, line: int) -> None:

@@ -12,6 +12,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 @dataclass
 class PendingStore:
@@ -20,13 +22,15 @@ class PendingStore:
 
 
 class StoreBuffer:
-    def __init__(self, entries: int):
+    def __init__(self, entries: int, tracer: Tracer = NULL_TRACER, component: str = "sb"):
         if entries < 1:
             raise ValueError("store buffer needs at least one entry")
         self.capacity = entries
         self._fifo: Deque[PendingStore] = deque()
         self.total_writes = 0
         self.total_flushes = 0
+        self.tracer = tracer
+        self.component = component
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -48,6 +52,11 @@ class StoreBuffer:
             completes_at = max(completes_at, self._fifo[-1].completes_at)
         self._fifo.append(PendingStore(addr, completes_at))
         self.total_writes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "push", dur=max(0.0, completes_at - now),
+                addr=addr, occupancy=len(self._fifo),
+            )
 
     def head_completion(self) -> float:
         return self._fifo[0].completes_at if self._fifo else 0.0
@@ -56,9 +65,13 @@ class StoreBuffer:
         """Time at which the buffer is empty (a paired release's wait)."""
         self.drain_completed(now)
         self.total_flushes += 1
-        if not self._fifo:
-            return now
-        return self._fifo[-1].completes_at
+        drained = self._fifo[-1].completes_at if self._fifo else now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "flush", dur=max(0.0, drained - now),
+                pending=len(self._fifo),
+            )
+        return drained
 
     def last_completion(self, now: float) -> float:
         """Like flush_time but without counting a flush event."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Resource
 
@@ -27,7 +28,7 @@ class TraversalResult:
 class Mesh:
     """The interconnect: nodes 0..W*H-1, XY routing, per-link FIFOs."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, tracer: Tracer = NULL_TRACER):
         self.config = config
         self.width = config.mesh_width
         self.height = config.mesh_height
@@ -35,6 +36,8 @@ class Mesh:
         self._links: Dict[Tuple[int, int], Resource] = {}
         self.flit_hops: int = 0
         self.messages: int = 0
+        self.tracer = tracer
+        self.component = "noc"
 
     # -- geometry -------------------------------------------------------------
     def coords(self, node: int) -> Tuple[int, int]:
@@ -100,6 +103,11 @@ class Mesh:
             link.busy_cycles += flits * self.config.link_flit_service
         self.flit_hops += flits * hops
         self.messages += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, self.component, "send", dur=t - now,
+                src=src, dst=dst, flits=flits, hops=hops,
+            )
         return TraversalResult(arrival=t, hops=hops, flit_hops=flits * hops)
 
     def round_trip(

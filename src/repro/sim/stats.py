@@ -1,54 +1,68 @@
-"""Event counters collected during simulation.
+"""Event counters collected during simulation (compatibility shim).
 
 These are the raw inputs to the energy model (Section 4.2: GPUWattch for
 the GPU cores, McPAT for the NoC) and to the reported statistics.
+
+The counter vocabulary and the counter bag itself now live in
+:mod:`repro.obs.metrics` as a *typed* registry — each constant is a
+:class:`~repro.obs.metrics.Metric`, a ``str`` subclass carrying its
+component, unit, and description — so this module only re-exports them.
+``from repro.sim import stats as S`` call sites and anything keying on
+the string values keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict
+from repro.obs.metrics import (
+    ATOMIC_ISSUED,
+    CORE_OP,
+    DENOVO_WRITEBACKS,
+    DRAM_ACCESS,
+    L1_ACCESS,
+    L1_ATOMIC,
+    L1_HIT,
+    L1_INVALIDATE,
+    L1_LINES_INVALIDATED,
+    L1_MISS,
+    L2_ACCESS,
+    L2_ATOMIC,
+    MSHR_COALESCE,
+    NOC_FLIT_HOPS,
+    REMOTE_L1_TRANSFER,
+    SB_FLUSH,
+    SB_WRITE,
+    SCRATCH_ACCESS,
+    MetricSet,
+)
+
+__all__ = [
+    "ATOMIC_ISSUED",
+    "CORE_OP",
+    "DENOVO_WRITEBACKS",
+    "DRAM_ACCESS",
+    "L1_ACCESS",
+    "L1_ATOMIC",
+    "L1_HIT",
+    "L1_INVALIDATE",
+    "L1_LINES_INVALIDATED",
+    "L1_MISS",
+    "L2_ACCESS",
+    "L2_ATOMIC",
+    "MSHR_COALESCE",
+    "NOC_FLIT_HOPS",
+    "REMOTE_L1_TRANSFER",
+    "SB_FLUSH",
+    "SB_WRITE",
+    "SCRATCH_ACCESS",
+    "SimStats",
+]
 
 
-class SimStats:
-    """A bag of named event counters with helper accessors."""
+class SimStats(MetricSet):
+    """A bag of named event counters (all values ``float``).
 
-    def __init__(self):
-        self.counters: Counter = Counter()
+    Thin alias for :class:`repro.obs.metrics.MetricSet`; kept so the
+    energy model, reports, and existing tests keep their import path.
+    """
 
-    def bump(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] += amount
-
-    def get(self, name: str) -> float:
-        return self.counters.get(name, 0.0)
-
-    def merge(self, other: "SimStats") -> None:
-        self.counters.update(other.counters)
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self.counters)
-
-    def __repr__(self) -> str:
-        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self.counters.items()))
-        return f"SimStats({body})"
-
-
-#: Counter names used across the simulator, in one place so the energy
-#: model and tests agree on the vocabulary.
-L1_ACCESS = "l1_access"
-L1_HIT = "l1_hit"
-L1_MISS = "l1_miss"
-L1_INVALIDATE = "l1_invalidate"  # flash self-invalidations (acquires)
-L1_ATOMIC = "l1_atomic"  # atomics performed at an L1 (DeNovo)
-L2_ACCESS = "l2_access"
-L2_ATOMIC = "l2_atomic"  # atomics performed at an L2 bank (GPU coherence)
-DRAM_ACCESS = "dram_access"
-NOC_FLIT_HOPS = "noc_flit_hops"
-SCRATCH_ACCESS = "scratch_access"
-CORE_OP = "core_op"
-SB_FLUSH = "sb_flush"  # store-buffer flushes (paired releases)
-SB_WRITE = "sb_write"
-MSHR_COALESCE = "mshr_coalesce"
-REMOTE_L1_TRANSFER = "remote_l1_transfer"  # DeNovo ownership transfers
-ATOMIC_ISSUED = "atomic_issued"
+    __slots__ = ()

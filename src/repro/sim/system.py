@@ -4,8 +4,9 @@ six configurations (Section 4.3: {GPU, DeNovo} x {DRF0, DRF1, DRFrlx})."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import stats as S
 from repro.sim.coherence import PROTOCOLS
 from repro.sim.config import INTEGRATED, SystemConfig
@@ -56,6 +57,7 @@ class System:
         protocol: str = "gpu",
         model: str = "drf0",
         config: SystemConfig = INTEGRATED,
+        tracer: Optional[Tracer] = None,
     ):
         if protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}")
@@ -63,10 +65,11 @@ class System:
         self.model = ConsistencyModel(model)
         self.config = config
         self.stats = SimStats()
-        self.mesh = Mesh(config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.mesh = Mesh(config, self.tracer)
         all_nodes = list(range(self.mesh.num_nodes))
         l2_nodes = all_nodes[: config.l2_banks] if config.l2_banks <= len(all_nodes) else all_nodes
-        self.l2 = L2System(config, l2_nodes)
+        self.l2 = L2System(config, l2_nodes, self.tracer)
         peers: Dict[int, object] = {}
         protocol_cls = PROTOCOLS[protocol]
         self.cus: List[ComputeUnit] = []
@@ -75,18 +78,31 @@ class System:
         # the following nodes.  A kernel addresses them by core index:
         # 0..num_cus-1 are CUs, num_cus.. are CPU cores.
         for node in range(config.num_cus + config.num_cpus):
-            proto = protocol_cls(node, config, self.mesh, self.l2, self.stats, peers)
-            self.cus.append(ComputeUnit(node, config, proto, self.model, self.stats))
+            proto = protocol_cls(
+                node, config, self.mesh, self.l2, self.stats, peers,
+                tracer=self.tracer,
+            )
+            self.cus.append(
+                ComputeUnit(node, config, proto, self.model, self.stats, self.tracer)
+            )
 
     # ------------------------------------------------------------------ running
     def run(self, kernel: Kernel) -> RunResult:
         phase_times: List[float] = []
         clock = 0.0
+        kernel_scope = self.tracer.scope(
+            f"kernel:{kernel.name}", cycle=0.0, component="sim"
+        )
         for phase in kernel.phases:
+            phase_scope = self.tracer.scope(
+                f"phase:{phase.name}", cycle=clock, component="sim"
+            )
             end = self._run_phase(phase, clock)
             end = self._global_barrier(end)
+            phase_scope.close(end)
             phase_times.append(end - clock)
             clock = end
+        kernel_scope.close(clock)
         return RunResult(
             workload=kernel.name,
             protocol=self.protocol_name,
@@ -146,9 +162,12 @@ def run_workload(
     protocol: str,
     model: str,
     config: SystemConfig = INTEGRATED,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
-    """Build a fresh system and run *kernel* on it."""
-    return System(protocol, model, config).run(kernel)
+    """Build a fresh system and run *kernel* on it.  Pass a
+    :class:`~repro.obs.tracer.Tracer` to record per-event traces; the
+    default is the no-op tracer."""
+    return System(protocol, model, config, tracer=tracer).run(kernel)
 
 
 def all_configurations() -> Tuple[Tuple[str, str], ...]:

@@ -32,7 +32,7 @@ def serial():
 
 @pytest.fixture(scope="module")
 def parallel(serial):
-    return run_sweep_parallel(NAMES, scale=SCALE, jobs=2)
+    return run_sweep(NAMES, scale=SCALE, jobs=2)
 
 
 class TestParallelEqualsSerial:
@@ -52,10 +52,15 @@ class TestParallelEqualsSerial:
         assert energy_csv(serial) == energy_csv(parallel)
 
     def test_jobs_one_serial_path(self, serial):
-        one = run_sweep_parallel(NAMES, scale=SCALE, jobs=1)
+        one = run_sweep(NAMES, scale=SCALE, jobs=1)
         assert set(one.observations) == set(serial.observations)
         for key, obs in serial.observations.items():
             assert obs.cycles == one.observations[key].cycles
+
+    def test_run_sweep_parallel_deprecated_alias(self, serial):
+        with pytest.deprecated_call():
+            aliased = run_sweep_parallel(NAMES, scale=SCALE, jobs=1)
+        assert set(aliased.observations) == set(serial.observations)
 
 
 class TestJobResolution:

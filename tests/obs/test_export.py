@@ -1,0 +1,125 @@
+"""Trace exporters: JSONL round-trip and Chrome trace_event conformance."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_lines,
+    read_jsonl,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import TraceEvent, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    scope = t.scope("kernel:K", cycle=0.0, component="sim")
+    t.emit(1.0, "l1@0", "fill", line=7, state="valid")
+    t.emit(2.0, "noc", "send", dur=3.0, hops=2)
+    scope.close(10.0)
+    return t
+
+
+class TestJsonl:
+    def test_one_line_per_event_sorted_keys(self, tracer):
+        lines = list(jsonl_lines(tracer))
+        assert len(lines) == len(tracer)
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+            assert {"cycle", "component", "event"} <= set(record)
+
+    def test_round_trip(self, tracer, tmp_path):
+        path = write_jsonl(tracer, str(tmp_path / "t.jsonl"))
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == [e.name for e in tracer.events]
+        assert records[1]["dur"] == 3.0
+        assert records[0]["attrs"] == {"line": 7, "state": "valid"}
+
+    def test_deterministic_bytes(self, tracer):
+        assert to_jsonl(tracer) == to_jsonl(tracer)
+
+    def test_accepts_plain_event_list(self):
+        events = [TraceEvent(0.0, "c", "e")]
+        assert json.loads(to_jsonl(events))["component"] == "c"
+
+
+class TestChromeTrace:
+    def test_validates_clean(self, tracer):
+        assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+    def test_spans_are_X_instants_are_i(self, tracer):
+        by_name = {}
+        for record in chrome_trace(tracer)["traceEvents"]:
+            if record["ph"] != "M":
+                by_name[record["name"]] = record
+        assert by_name["fill"]["ph"] == "i" and by_name["fill"]["s"] == "t"
+        assert by_name["send"]["ph"] == "X" and by_name["send"]["dur"] == 3.0
+        assert by_name["kernel:K"]["ph"] == "X"
+
+    def test_each_component_gets_named_thread(self, tracer):
+        records = chrome_trace(tracer, process_name="proc")["traceEvents"]
+        threads = {
+            r["args"]["name"]: r["tid"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        assert set(threads) == {"sim", "l1@0", "noc"}
+        assert len(set(threads.values())) == 3
+        process = next(
+            r for r in records if r["ph"] == "M" and r["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "proc"
+
+    def test_written_file_is_loadable_and_valid(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, str(tmp_path / "t.trace.json"))
+        with open(path) as handle:
+            obj = json.load(handle)
+        assert validate_chrome_trace(obj) == []
+        assert obj["displayTimeUnit"] == "ms"
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": []}) != []
+
+    def test_rejects_bad_phase(self):
+        obj = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0}]}
+        assert any("invalid phase" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_X_without_dur(self):
+        obj = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0}
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_negative_dur(self):
+        obj = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1.0, "dur": -2}
+        ]}
+        assert any("negative" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_unknown_metadata(self):
+        obj = {"traceEvents": [
+            {"ph": "M", "name": "bogus_meta", "pid": 0, "tid": 0}
+        ]}
+        assert any("metadata" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_bad_instant_scope(self):
+        obj = {"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 0.0, "s": "q"}
+        ]}
+        assert any("scope" in e for e in validate_chrome_trace(obj))
+
+    def test_rejects_missing_ts(self):
+        obj = {"traceEvents": [{"ph": "i", "name": "x", "pid": 0, "tid": 0}]}
+        assert any("'ts'" in e for e in validate_chrome_trace(obj))

@@ -1,0 +1,66 @@
+"""Golden JSONL trace for one litmus enumeration.
+
+The enumerator is deterministic, so the exact byte content of its trace
+is pinned: any change to the search order, the POR pruning, or the
+exporter's serialization shows up as a diff against the golden file
+(regenerate with ``python -m repro trace mp_paired --litmus --out
+tests/obs/golden`` and rename, after reviewing the diff).
+"""
+
+import os
+
+import pytest
+
+from repro.core.executions import enumerate_sc_executions
+from repro.litmus.library import get
+from repro.obs.export import to_jsonl
+from repro.obs.tracer import Tracer
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "litmus_mp_paired.jsonl")
+
+
+@pytest.mark.obs
+def test_mp_paired_enumeration_trace_matches_golden():
+    tracer = Tracer()
+    enum = enumerate_sc_executions(get("mp_paired").program, tracer=tracer)
+    with open(GOLDEN) as handle:
+        golden = handle.read()
+    assert to_jsonl(tracer) == golden
+    # Cross-check the trace against the enumeration's own accounting.
+    steps = [e for e in tracer.events if e.name == "step"]
+    executions = [e for e in tracer.events if e.name == "execution"]
+    assert len(steps) == enum.stats.steps
+    assert len(executions) == len(enum.executions)
+
+
+@pytest.mark.obs
+def test_enumeration_trace_includes_scope_span():
+    tracer = Tracer()
+    enum = enumerate_sc_executions(get("mp_paired").program, tracer=tracer)
+    span = tracer.events[-1]
+    assert span.name == "enumerate:mp_paired"
+    assert span.dur == float(enum.stats.steps)
+
+
+@pytest.mark.obs
+def test_naive_engine_traces_too():
+    tracer = Tracer()
+    enum = enumerate_sc_executions(
+        get("mp_paired").program, naive=True, tracer=tracer
+    )
+    names = {e.name for e in tracer.events}
+    assert "step" in names and "execution" in names
+    assert len([e for e in tracer.events if e.name == "step"]) == enum.stats.steps
+
+
+@pytest.mark.obs
+def test_untraced_enumeration_identical_to_traced():
+    """Tracing must not perturb the search: same executions, same stats."""
+    program = get("mp_paired").program
+    plain = enumerate_sc_executions(program)
+    traced = enumerate_sc_executions(program, tracer=Tracer())
+    assert [e.canonical_key() for e in plain.executions] == [
+        e.canonical_key() for e in traced.executions
+    ]
+    assert plain.stats.steps == traced.stats.steps
+    assert plain.stats.por_pruned == traced.stats.por_pruned

@@ -1,0 +1,40 @@
+"""Tracing a sweep must not change its results — only add trace files."""
+
+import json
+
+import pytest
+
+from repro.eval.export import energy_csv, time_csv
+from repro.eval.harness import run_sweep
+from repro.obs.export import validate_chrome_trace
+
+NAMES = ("SC",)
+SCALE = 0.05
+
+
+@pytest.mark.obs
+def test_traced_sweep_csvs_byte_identical_and_traces_valid(tmp_path):
+    plain = run_sweep(NAMES, scale=SCALE)
+    traced = run_sweep(NAMES, scale=SCALE, trace_dir=str(tmp_path))
+
+    assert time_csv(plain) == time_csv(traced)
+    assert energy_csv(plain) == energy_csv(traced)
+
+    jsonl = sorted(p.name for p in tmp_path.glob("*.jsonl"))
+    chrome = sorted(p.name for p in tmp_path.glob("*.trace.json"))
+    assert len(jsonl) == 6 and len(chrome) == 6  # one per configuration
+    assert "SC_GD0.jsonl" in jsonl and "SC_DDR.trace.json" in chrome
+    for name in chrome:
+        with open(tmp_path / name) as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+
+
+@pytest.mark.obs
+def test_traced_parallel_sweep_matches_serial(tmp_path):
+    """Trace files are written inside pool workers; results stay equal."""
+    serial = run_sweep(NAMES, scale=SCALE)
+    parallel = run_sweep(
+        NAMES, scale=SCALE, jobs=2, trace_dir=str(tmp_path)
+    )
+    assert time_csv(serial) == time_csv(parallel)
+    assert len(list(tmp_path.glob("*.jsonl"))) == 6

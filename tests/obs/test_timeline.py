@@ -1,0 +1,78 @@
+"""Cycle-bucketed timeline aggregation."""
+
+import pytest
+
+from repro.obs.timeline import Timeline
+from repro.obs.tracer import TraceEvent, Tracer
+
+
+def test_bucket_must_be_positive():
+    with pytest.raises(ValueError):
+        Timeline(bucket=0)
+
+
+def test_instants_count_per_bucket():
+    tl = Timeline(bucket=10.0)
+    for cycle in (0.0, 5.0, 9.9, 10.0, 25.0):
+        tl.add(TraceEvent(cycle, "l1", "fill"))
+    rows = {(b, c, e): (count, busy) for b, c, e, count, busy in tl.rows()}
+    assert rows[(0.0, "l1", "fill")] == (3.0, 0.0)
+    assert rows[(10.0, "l1", "fill")] == (1.0, 0.0)
+    assert rows[(20.0, "l1", "fill")] == (1.0, 0.0)
+
+
+def test_span_spreads_duration_across_buckets():
+    tl = Timeline(bucket=10.0)
+    tl.add(TraceEvent(5.0, "noc", "send", dur=20.0))  # covers 5..25
+    series = tl.series("noc", "send")
+    assert [(b, busy) for b, _, busy in series] == [
+        (0.0, 5.0), (10.0, 10.0), (20.0, 5.0),
+    ]
+    # The count lands only in the start bucket.
+    assert [count for _, count, _ in series] == [1.0, 0.0, 0.0]
+
+
+def test_utilization_clamped_to_one():
+    tl = Timeline(bucket=10.0)
+    tl.add(TraceEvent(0.0, "l2", "access", dur=8.0))
+    tl.add(TraceEvent(2.0, "l2", "access", dur=8.0))  # overlapping busy
+    util = dict(tl.utilization("l2", "access"))
+    assert util[0.0] == 1.0  # 16 busy cycles clamp at the bucket width
+
+
+def test_horizon_tracks_span_ends():
+    tl = Timeline(bucket=10.0)
+    tl.add(TraceEvent(3.0, "c", "e", dur=14.0))
+    assert tl.horizon == 17.0
+
+
+def test_from_events_accepts_tracer_and_csv_is_sorted(tmp_path):
+    t = Tracer()
+    t.emit(12.0, "b", "y", dur=2.0)
+    t.emit(1.0, "a", "x")
+    tl = Timeline.from_events(t, bucket=10.0)
+    csv_text = tl.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "bucket_start,component,event,count,busy_cycles"
+    assert lines[1].startswith("0,a,x")  # sorted by (bucket, component, event)
+    path = tl.write_csv(str(tmp_path / "timeline.csv"))
+    with open(path) as handle:
+        assert handle.read() == csv_text
+
+
+@pytest.mark.obs
+def test_timeline_of_real_trace_has_resource_utilization():
+    from repro.sim.config import INTEGRATED
+    from repro.sim.system import run_workload
+    from repro.workloads.base import get
+
+    tracer = Tracer()
+    run_workload(get("SC").build(INTEGRATED, 0.05), "gpu", "drfrlx",
+                 INTEGRATED, tracer=tracer)
+    tl = Timeline.from_events(tracer, bucket=50.0)
+    busy_components = {
+        component for _, component, _, _, busy in tl.rows() if busy > 0
+    }
+    assert any(c.startswith("l2bank@") for c in busy_components)
+    for _, fraction in tl.utilization("noc", "send"):
+        assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,133 @@
+"""The Tracer core: events, scopes, the no-op default."""
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+
+class TestEmit:
+    def test_records_instants_and_spans(self):
+        t = Tracer()
+        t.emit(10.0, "l1@0", "fill", line=3)
+        t.emit(12.0, "noc", "send", dur=4.0, hops=2)
+        assert len(t) == 2
+        instant, span = t.events
+        assert instant.dur is None and instant.attrs == {"line": 3}
+        assert span.dur == 4.0 and span.cycle == 12.0
+
+    def test_as_dict_omits_empty_fields(self):
+        t = Tracer()
+        t.emit(1.0, "c", "e")
+        record = t.events[0].as_dict()
+        assert record == {"cycle": 1.0, "component": "c", "event": "e"}
+
+    def test_last_cycle_tracks_high_water_mark(self):
+        t = Tracer()
+        t.emit(5.0, "c", "a")
+        t.emit(3.0, "c", "b")  # out-of-order arrival must not regress it
+        assert t.last_cycle == 5.0
+
+    def test_components_in_first_appearance_order(self):
+        t = Tracer()
+        for component in ("sim", "l1@0", "sim", "noc"):
+            t.emit(0.0, component, "e")
+        assert t.components() == ("sim", "l1@0", "noc")
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(9.0, "c", "e")
+        t.clear()
+        assert len(t) == 0 and t.last_cycle == 0.0
+
+
+class TestScopes:
+    def test_scope_closes_into_span(self):
+        t = Tracer()
+        s = t.scope("kernel:K", cycle=0.0, component="sim")
+        t.emit(50.0, "l1@0", "fill")
+        s.close(100.0)
+        span = t.events[-1]
+        assert span.name == "kernel:K" and span.cycle == 0.0 and span.dur == 100.0
+
+    def test_events_record_enclosing_scope_path(self):
+        t = Tracer()
+        k = t.scope("kernel:K", cycle=0.0)
+        p = t.scope("phase:P", cycle=0.0)
+        t.emit(1.0, "l1@0", "fill")
+        assert t.events[0].scope == "kernel:K/phase:P"
+        p.close(10.0)
+        k.close(10.0)
+        assert t.scope_path == ""
+
+    def test_close_without_cycle_uses_last_traced(self):
+        t = Tracer()
+        s = t.scope("phase:P", cycle=0.0)
+        t.emit(42.0, "c", "e")
+        s.close()
+        assert t.events[-1].dur == 42.0
+
+    def test_double_close_is_idempotent(self):
+        t = Tracer()
+        s = t.scope("x", cycle=0.0)
+        s.close(1.0)
+        s.close(2.0)
+        assert len(t) == 1
+
+    def test_out_of_order_close_unwinds(self):
+        t = Tracer()
+        outer = t.scope("outer", cycle=0.0)
+        t.scope("inner", cycle=0.0)  # never closed explicitly
+        outer.close(5.0)
+        assert t.scope_path == ""
+
+    def test_context_manager(self):
+        t = Tracer()
+        with t.scope("block", cycle=0.0):
+            t.emit(3.0, "c", "e")
+        assert t.events[-1].name == "block" and t.events[-1].dur == 3.0
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(1.0, "c", "e", dur=2.0, k=1)
+        scope = NULL_TRACER.scope("s")
+        scope.close(10.0)
+        assert len(NULL_TRACER) == 0
+
+    def test_null_scope_is_a_context_manager(self):
+        with NullTracer().scope("s") as scope:
+            scope.close()
+
+    def test_disabled_tracer_skips_recording(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "c", "e")
+        assert len(t) == 0 and t.scope("s") is not None
+
+
+def test_trace_event_repr_mentions_span_duration():
+    assert "dur=4" in repr(TraceEvent(1.0, "c", "e", dur=4.0))
+    assert "dur" not in repr(TraceEvent(1.0, "c", "e"))
+
+
+@pytest.mark.obs
+def test_simulation_produces_hierarchical_trace():
+    """End-to-end: a traced run yields kernel/phase scopes and component
+    events whose scope paths nest under the kernel."""
+    from repro.sim.config import INTEGRATED
+    from repro.sim.system import run_workload
+    from repro.workloads.base import get
+
+    tracer = Tracer()
+    kernel = get("SC").build(INTEGRATED, 0.05)
+    result = run_workload(kernel, "gpu", "drf0", INTEGRATED, tracer=tracer)
+    assert len(tracer) > 0
+    names = {e.name for e in tracer.events}
+    assert any(n.startswith("kernel:") for n in names)
+    assert any(n.startswith("phase:") for n in names)
+    in_kernel = [e for e in tracer.events if e.scope.startswith("kernel:")]
+    assert in_kernel, "component events should carry the kernel scope path"
+    kernel_span = next(
+        e for e in tracer.events if e.name.startswith("kernel:")
+    )
+    assert kernel_span.dur == pytest.approx(result.cycles)

@@ -55,7 +55,7 @@ def test_bench_harness_emits_valid_json(tmp_path):
     )
     with open(path) as handle:
         record = json.load(handle)
-    assert set(record) == {"date", "host", "enumeration", "sweep"}
+    assert set(record) == {"date", "host", "enumeration", "sweep", "tracing"}
     assert record["host"]["cpu_count"] >= 1
     enum = record["enumeration"]
     assert enum["programs"] == 3
@@ -63,12 +63,19 @@ def test_bench_harness_emits_valid_json(tmp_path):
     sweep = record["sweep"]
     assert sweep["csv_identical"] is True
     assert sweep["simulations"] == 6  # one workload x six configurations
+    tracing = record["tracing"]
+    assert tracing["events"] > 0
+    assert tracing["wall_s_untraced"] > 0
 
 
 @pytest.mark.bench
 def test_bench_cli_quick(tmp_path, capsys):
+    """The deprecated module entry point still works, printing a
+    deprecation note on stderr and the same summary on stdout."""
     from repro.perf.bench import main
 
     assert main(["--quick", "--out", str(tmp_path), "--jobs", "1"]) == 0
-    out = capsys.readouterr().out
-    assert "enumeration:" in out and "sweep:" in out
+    captured = capsys.readouterr()
+    out = captured.out
+    assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
+    assert "deprecated" in captured.err
