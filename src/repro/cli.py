@@ -49,7 +49,31 @@ def _shared_flags() -> argparse.ArgumentParser:
         help="write per-run JSONL + Chrome trace_event files into DIR "
              f"(default: the {TRACE_ENV} environment variable)",
     )
+    shared.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="serve repeated sweep/enumeration results from the on-disk "
+             "result cache (default: on for figures/audit; the directory "
+             "is REPRO_CACHE_DIR, else ~/.cache/repro)",
+    )
+    shared.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="recompute everything, ignoring the result cache",
+    )
+    shared.add_argument(
+        "--cache-clear", action="store_true",
+        help="delete every result-cache entry before running",
+    )
     return shared
+
+
+def _cli_cache(args: argparse.Namespace, default: bool = True) -> bool:
+    """The subcommand's cache spec from ``--cache/--no-cache/--cache-clear``."""
+    from repro.perf.cache import ResultCache
+
+    if args.cache_clear:
+        removed = ResultCache().clear()
+        print(f"cleared {removed} result-cache entries", file=sys.stderr)
+    return args.cache if args.cache is not None else default
 
 
 # -- subcommands ---------------------------------------------------------------
@@ -63,6 +87,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         scale=args.scale,
         jobs=args.jobs,
         trace_dir=args.trace,
+        cache=_cli_cache(args, default=True),
     )
     for name in sorted(artifacts):
         print(f"== {name} " + "=" * max(0, 60 - len(name)))
@@ -75,6 +100,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf harness and print its summary."""
     from repro.perf.bench import run_bench, summarize
 
+    _cli_cache(args, default=False)  # bench manages its own caches; honor --cache-clear
     if args.quick:
         path = run_bench(
             out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
@@ -97,7 +123,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     from repro.perf.audit import audit_corpus
 
     failures = 0
-    for result in audit_corpus(jobs=args.jobs):
+    for result in audit_corpus(jobs=args.jobs, cache=_cli_cache(args, default=True)):
         status = "ok" if result.ok else "FAIL"
         if not result.ok:
             failures += 1

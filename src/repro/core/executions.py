@@ -14,9 +14,13 @@ Two engines produce the same execution set:
   (adjacent independent operations are only explored in canonical thread
   order), shares immutable path prefixes copy-on-write instead of deep
   cloning the whole search state at every branch, and memoizes canonical
-  ``(thread states, memory, partial execution)`` keys so re-converging
-  interleavings are explored once.  :attr:`SCEnumeration.stats` reports
-  how much work each mechanism saved.
+  ``(thread states, memory)`` search states: when two different schedules
+  of *dependent* operations re-converge to the same state (e.g. two
+  threads storing the same value, or commuting increment/decrement
+  pairs), the second arrival replays the recorded completion schedules
+  of the first subtree linearly instead of re-branching through it.
+  :attr:`SCEnumeration.stats` reports how much work each mechanism
+  saved.
 * The **naive engine** (``naive=True``) is the original exhaustive
   interleaver with per-step full-state clones.  It is kept as the oracle
   for equivalence tests and as the baseline for ``repro.perf.bench``.
@@ -356,34 +360,27 @@ class _Node:
 class _Ctx:
     """Small mutable per-path state, copied on branch.
 
-    ``sig`` is an order-insensitive canonical signature of the partial
-    execution so far: per-event keys plus reads-from (by writer key) and
-    per-location coherence positions.  Two paths with equal ``sig`` are
-    linearizations of the same Mazurkiewicz trace prefix.  Signature and
-    ``ekey`` maintenance only matter to the re-convergence memo, so they
-    are skipped entirely when ``track`` is off.
+    ``ekey`` maps eids (which depend on interleaving order) to canonical
+    :meth:`Event.key` tuples; it only matters to the re-convergence
+    memo's canonical state keys, so its maintenance is skipped entirely
+    when ``track`` is off.
     """
 
-    __slots__ = ("memory", "last_writer", "ekey", "co_pos", "next_eid", "sig",
-                 "track")
+    __slots__ = ("memory", "last_writer", "ekey", "next_eid", "track")
 
-    def __init__(self, memory, last_writer, ekey, co_pos, next_eid, sig, track):
+    def __init__(self, memory, last_writer, ekey, next_eid, track):
         self.memory = memory  # loc -> value
         self.last_writer = last_writer  # loc -> write eid
         self.ekey = ekey  # eid -> Event.key() (canonical, path-independent)
-        self.co_pos = co_pos  # loc -> number of writes so far (incl. init)
         self.next_eid = next_eid
-        self.sig = sig  # FrozenSet of canonical event contributions
-        self.track = track  # maintain ekey/co_pos/sig for the memo?
+        self.track = track  # maintain ekey for the memo?
 
     def branch(self) -> "_Ctx":
         return _Ctx(
             dict(self.memory),
             dict(self.last_writer),
             dict(self.ekey) if self.track else self.ekey,
-            dict(self.co_pos) if self.track else self.co_pos,
             self.next_eid,
-            self.sig,  # immutable; replaced wholesale on update
             self.track,
         )
 
@@ -403,7 +400,6 @@ def _apply_op(
         ctx.memory[loc] = 0
 
     track = ctx.track
-    sig_items: List[Tuple] = []
 
     def deps(eid: int, data_taint: FrozenSet[int] = frozenset()) -> Tuple:
         return (
@@ -421,9 +417,6 @@ def _apply_op(
         writer = ctx.last_writer.get(loc)
         if track:
             ctx.ekey[eid] = event.key()
-            sig_items.append(
-                ("R", event.key(), ctx.ekey[writer] if writer is not None else None)
-            )
         addr_e, data_e, ctrl_e = deps(eid)
         result = choice[0] if instr.havoc else read_value
         state.regs[instr.dst] = Value(result, frozenset({eid}))
@@ -442,9 +435,6 @@ def _apply_op(
         state.mem_count += 1
         if track:
             ctx.ekey[eid] = event.key()
-            pos = ctx.co_pos.get(loc, 0)
-            sig_items.append(("W", event.key(), pos))
-            ctx.co_pos[loc] = pos + 1
         ctx.last_writer[loc] = eid
         addr_e, data_e, ctrl_e = deps(eid, stored.taint)
         ctx.memory[loc] = stored.val
@@ -462,9 +452,6 @@ def _apply_op(
         writer = ctx.last_writer.get(loc)
         if track:
             ctx.ekey[r_eid] = r_event.key()
-            sig_items.append(
-                ("R", r_event.key(), ctx.ekey[writer] if writer is not None else None)
-            )
 
         if instr.havoc:
             returned, new_value = choice
@@ -480,9 +467,6 @@ def _apply_op(
         state.mem_count += 1
         if track:
             ctx.ekey[w_eid] = w_event.key()
-            pos = ctx.co_pos.get(loc, 0)
-            sig_items.append(("W", w_event.key(), pos))
-            ctx.co_pos[loc] = pos + 1
         ctx.last_writer[loc] = w_eid
         op_name = "exch" if instr.havoc else instr.op
         info = RmwInfo(op_name, operand_val, operand2.val if operand2 else None)
@@ -501,8 +485,6 @@ def _apply_op(
     else:
         raise LitmusError(f"not a memory instruction: {instr!r}")
 
-    if track:
-        ctx.sig = ctx.sig | frozenset(sig_items)
     pure_read = isinstance(instr, Load)
     return node, loc, pure_read
 
@@ -641,6 +623,26 @@ def _independent(op: Tuple[int, str, bool], loc: str, pure_read: bool) -> bool:
     return loc != op[1] or (pure_read and op[2])
 
 
+class _MemoEntry:
+    """Recorded completions of one fully explored search node.
+
+    ``sleep`` is the sleep set the subtree was explored under;
+    ``suffixes`` are the ``(tid, choice)`` schedules of every completed
+    path out of it.  A later node with an equal canonical state and a
+    sleep set that is a **superset** of ``sleep`` needs at most these
+    schedules (sleep sets only ever prune more as they grow), so it can
+    replay them linearly instead of re-branching; any surplus schedules
+    it would itself have pruned re-derive executions already covered
+    elsewhere and fall to the leaf-key dedup.
+    """
+
+    __slots__ = ("sleep", "suffixes")
+
+    def __init__(self, sleep: FrozenSet[Tuple[int, str, bool]]):
+        self.sleep = sleep
+        self.suffixes: List[Tuple[Tuple[int, Tuple], ...]] = []
+
+
 def _enumerate_por(
     program: Program,
     max_executions: Optional[int],
@@ -648,14 +650,14 @@ def _enumerate_por(
     tracer: Tracer = NULL_TRACER,
 ) -> SCEnumeration:
     if memo_enabled is None:
-        # Re-converging linearizations that survive the reduction need at
-        # least three threads (two-thread duplicates are always adjacent
-        # transpositions, which POR already prunes); below that the memo
-        # is pure bookkeeping overhead.
-        memo_enabled = len(program.threads) >= 3
+        # Re-convergence needs two schedules of *dependent* operations to
+        # land in the same state (commuting RMW pairs, equal-value
+        # stores...), which takes at least two threads; below that the
+        # memo is pure bookkeeping overhead.
+        memo_enabled = len(program.threads) >= 2
     stats = EnumStats(engine="por+memo" if memo_enabled else "por")
     root_events: List[Event] = []
-    ctx = _Ctx({}, {}, {}, {}, 0, frozenset(), memo_enabled)
+    ctx = _Ctx({}, {}, {}, 0, memo_enabled)
     for idx, loc in enumerate(program.locations()):
         val = program.initial_value(loc)
         eid = ctx.next_eid
@@ -664,7 +666,6 @@ def _enumerate_por(
         root_events.append(event)
         if memo_enabled:
             ctx.ekey[eid] = event.key()
-            ctx.co_pos[loc] = 1
         ctx.last_writer[loc] = eid
         ctx.memory[loc] = val
     root = _Node(None, tuple(root_events), (), None, None, (), (), ())
@@ -680,26 +681,40 @@ def _enumerate_por(
         return SCEnumeration(program, (), 1, 0, stats)
 
     seen: Set[Tuple] = set()
-    memo: Set[Tuple] = set()
+    # Canonical (thread states, memory) -> memo entries recorded there.
+    # Keys deliberately exclude event ids / writer identities: branching
+    # behavior from a state depends only on thread states and memory
+    # values, and replay re-executes ops against the *hitting* path's
+    # context, so its executions carry its own (correct) rf/co.
+    memo: Dict[Tuple, List[_MemoEntry]] = {}
     executions: List[Execution] = []
     trace_on = tracer.enabled
     enum_scope = tracer.scope(f"enumerate:{program.name}", cycle=0.0, component="enum")
 
-    # Entries: (thread states, ctx, path node, sleep set).  A sleep-set
-    # entry (tid, loc, pure-read) records a thread whose pending op was
-    # already explored at an ancestor node and commutes with everything
-    # executed since: scheduling it now would re-derive an execution the
-    # sibling subtree already covers (Godefroid-style sleep sets).
+    # Entries: (thread states, ctx, path node, sleep set, schedule,
+    # anchors).  A sleep-set entry (tid, loc, pure-read) records a thread
+    # whose pending op was already explored at an ancestor node and
+    # commutes with everything executed since: scheduling it now would
+    # re-derive an execution the sibling subtree already covers
+    # (Godefroid-style sleep sets).  ``sched`` is the (tid, choice)
+    # schedule from the root; ``anchors`` are (memo entry, schedule
+    # depth) pairs for every ancestor that recorded an entry, so each
+    # completed leaf registers its suffix with all of them.
     Sleep = FrozenSet[Tuple[int, str, bool]]
-    stack: List[Tuple[List[_ThreadState], _Ctx, _Node, Sleep]] = [
-        (states, ctx, root, frozenset())
+    Sched = Tuple[Tuple[int, Tuple], ...]
+    Anchors = Tuple[Tuple[_MemoEntry, int], ...]
+    stack: List[Tuple[List[_ThreadState], _Ctx, _Node, Sleep, Sched, Anchors]] = [
+        (states, ctx, root, frozenset(), (), ())
     ]
 
-    while stack:
-        states, ctx, node, sleep = stack.pop()
+    stop = False
+    while stack and not stop:
+        states, ctx, node, sleep, sched, anchors = stack.pop()
         runnable = [s for s in states if s.pending is not None]
         if not runnable:
             stats.completed_paths += 1
+            for entry, depth in anchors:
+                entry.suffixes.append(sched[depth:])
             chain = _chain(node)
             key = _leaf_key(chain, states)
             if key not in seen:
@@ -718,6 +733,81 @@ def _enumerate_por(
                     path=stats.completed_paths,
                 )
             continue
+
+        if memo_enabled:
+            state_key = (
+                tuple(_state_key(s, ctx.ekey) for s in states),
+                tuple(sorted(ctx.memory.items())),
+            )
+            hit: Optional[_MemoEntry] = None
+            for entry in memo.get(state_key, ()):
+                # Equal canonical keys imply equal search depth (every
+                # step bumps a mem_count), so the recorded node is not an
+                # ancestor of this one and — DFS — its subtree is already
+                # complete.  The subset check keeps the replay sound: a
+                # smaller recorded sleep explored at least everything
+                # this node would.
+                if entry.sleep <= sleep:
+                    hit = entry
+                    break
+            if hit is not None:
+                stats.memo_hits += 1
+                if trace_on:
+                    tracer.emit(
+                        stats.steps, "enum", "memo_hit",
+                        suffixes=len(hit.suffixes),
+                    )
+                for suffix in hit.suffixes:
+                    rstates = [s.clone() for s in states]
+                    rctx = ctx.branch()
+                    rnode = node
+                    completed = True
+                    for tid, choice in suffix:
+                        target = rstates[tid]
+                        rnode, loc, _ = _apply_op(target, rctx, choice, rnode)
+                        stats.steps += 1
+                        if trace_on:
+                            tracer.emit(
+                                stats.steps, "enum", "step",
+                                tid=tid, loc=loc, depth=rctx.next_eid,
+                            )
+                        try:
+                            target.advance()
+                        except _Truncated:  # equal states replay equally
+                            truncated += 1  # pragma: no cover
+                            completed = False  # pragma: no cover
+                            break  # pragma: no cover
+                    if not completed:  # pragma: no cover
+                        continue
+                    stats.completed_paths += 1
+                    for entry, depth in anchors:
+                        entry.suffixes.append(sched[depth:] + suffix)
+                    chain = _chain(rnode)
+                    key = _leaf_key(chain, rstates)
+                    if key not in seen:
+                        seen.add(key)
+                        executions.append(_materialize(chain, rctx.memory, rstates))
+                        if trace_on:
+                            tracer.emit(
+                                stats.steps, "enum", "execution",
+                                distinct=len(executions),
+                                path=stats.completed_paths,
+                            )
+                        if (
+                            max_executions is not None
+                            and len(executions) >= max_executions
+                        ):
+                            stop = True
+                            break
+                    elif trace_on:
+                        tracer.emit(
+                            stats.steps, "enum", "duplicate_path",
+                            path=stats.completed_paths,
+                        )
+                continue
+            entry = _MemoEntry(sleep)
+            memo.setdefault(state_key, []).append(entry)
+            anchors = anchors + ((entry, len(sched)),)
 
         sleeping_tids = {op[0] for op in sleep}
         explored: List[Tuple[int, str, bool]] = []
@@ -753,20 +843,10 @@ def _enumerate_por(
                     truncated += 1
                     continue
                 new_states = [target if s.tid == state.tid else s for s in states]
-                if memo_enabled:
-                    memo_key = (
-                        tuple(_state_key(s, new_ctx.ekey) for s in new_states),
-                        tuple(sorted(new_ctx.memory.items())),
-                        new_ctx.sig,
-                        frozenset(op[0] for op in child_sleep),
-                    )
-                    if memo_key in memo:
-                        stats.memo_hits += 1
-                        if trace_on:
-                            tracer.emit(stats.steps, "enum", "memo_hit", tid=state.tid)
-                        continue
-                    memo.add(memo_key)
-                stack.append((new_states, new_ctx, new_node, child_sleep))
+                stack.append((
+                    new_states, new_ctx, new_node, child_sleep,
+                    sched + ((state.tid, choice),), anchors,
+                ))
             explored.append((state.tid, loc, pure_read))
 
     enum_scope.close(stats.steps)
@@ -892,6 +972,7 @@ def enumerate_sc_executions(
     naive: bool = False,
     memo: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
+    cache=None,
 ) -> SCEnumeration:
     """Enumerate every SC execution of *program* (deduplicated).
 
@@ -900,14 +981,46 @@ def enumerate_sc_executions(
     ``naive=True`` selects the original full-clone interleaver — the
     oracle used by equivalence tests and the ``repro.perf`` baseline.
     ``memo`` forces the re-convergence memo on or off; the default
-    (``None``) enables it for programs with three or more threads, the
-    only case where hits can occur (a perf-attribution knob for the
-    bench harness).
+    (``None``) enables it for multi-threaded programs (a perf-attribution
+    knob for the bench harness; it never changes the execution set).
     ``tracer`` records one event per search step / POR prune / memo hit
     / distinct execution ("cycle" is the step count); the default is the
     no-op tracer.
+    ``cache`` is a :data:`repro.perf.cache.CacheSpec`: ``None`` consults
+    the ``REPRO_CACHE`` environment variable (default off), ``True``/a
+    path/a :class:`~repro.perf.cache.ResultCache` enable a persistent
+    result cache keyed on the program text, the enumeration arguments
+    and a fingerprint of the ``repro.core``/``repro.litmus`` sources.
+    Tracing bypasses the cache (a cached result has no events to emit).
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+
+    store = None
+    if cache is not None and not tracer.enabled:
+        from repro.perf.cache import ENUM_CODE_PACKAGES, code_fingerprint, resolve_cache
+
+        store = resolve_cache(cache)
+        if store is not None:
+            key = store.key(
+                "enumeration",
+                {
+                    "program": repr(program),
+                    "max_executions": max_executions,
+                    "naive": naive,
+                    "memo": memo,
+                    "code": code_fingerprint(ENUM_CODE_PACKAGES),
+                },
+            )
+            found, value = store.get(key, codec="pickle")
+            if found and isinstance(value, SCEnumeration):
+                return value
+
     if naive:
-        return _enumerate_naive(program, max_executions, tracer=tracer)
-    return _enumerate_por(program, max_executions, memo_enabled=memo, tracer=tracer)
+        result = _enumerate_naive(program, max_executions, tracer=tracer)
+    else:
+        result = _enumerate_por(
+            program, max_executions, memo_enabled=memo, tracer=tracer
+        )
+    if store is not None:
+        store.put(key, result, codec="pickle")
+    return result

@@ -99,6 +99,7 @@ def check(
     max_executions: Optional[int] = None,
     max_witnesses: int = 32,
     naive: bool = False,
+    cache=None,
 ) -> CheckResult:
     """Check *program* against one of the three models.
 
@@ -106,11 +107,13 @@ def check(
     program and classifies every race.  ``max_witnesses`` caps how many
     race witnesses are retained; legality is still decided over all
     executions explored.  ``naive=True`` uses the unreduced enumeration
-    engine (the oracle for equivalence tests).
+    engine (the oracle for equivalence tests).  ``cache`` (a
+    :data:`repro.perf.cache.CacheSpec`) memoizes the enumeration on
+    disk, keyed by the prepared program and the enumerator sources.
     """
     prepared = _prepare(program, model)
     enumeration = enumerate_sc_executions(
-        prepared, max_executions=max_executions, naive=naive
+        prepared, max_executions=max_executions, naive=naive, cache=cache
     )
     classes = _ILLEGAL_CLASSES[model]
     witnesses = []

@@ -19,6 +19,7 @@ from repro.eval.harness import (
     run_figure4,
 )
 from repro.litmus.library import get as get_litmus
+from repro.perf.cache import CacheSpec
 
 
 def _bar(value: float, scale: float = 40.0, full: float = 1.0) -> str:
@@ -48,9 +49,13 @@ def render_energy_figure(sweep: SweepResult, title: str) -> str:
     return "\n".join(lines)
 
 
-def figure1(scale: float = 1.0, jobs: Optional[int] = None) -> str:
+def figure1(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
+) -> str:
     """Figure 1: relaxed vs SC atomic speedup on the discrete GPU."""
-    speedups = run_figure1(scale, jobs=jobs)
+    speedups = run_figure1(scale, jobs=jobs, cache=cache)
     lines = ["Figure 1 — relaxed-atomics speedup over SC atomics (discrete GPU)"]
     for name, s in speedups.items():
         lines.append(f"  {name:8s} {s:6.2f}x  {_bar(s, full=2.0)}")
@@ -78,8 +83,9 @@ def figure3(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    cache: CacheSpec = None,
 ) -> Tuple[SweepResult, str]:
-    sweep = run_figure3(scale, jobs=jobs, trace_dir=trace_dir)
+    sweep = run_figure3(scale, jobs=jobs, trace_dir=trace_dir, cache=cache)
     text = (
         render_time_figure(sweep, "Figure 3(a): microbenchmarks")
         + "\n\n"
@@ -92,8 +98,9 @@ def figure4(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    cache: CacheSpec = None,
 ) -> Tuple[SweepResult, str]:
-    sweep = run_figure4(scale, jobs=jobs, trace_dir=trace_dir)
+    sweep = run_figure4(scale, jobs=jobs, trace_dir=trace_dir, cache=cache)
     text = (
         render_time_figure(sweep, "Figure 4(a): benchmarks")
         + "\n\n"

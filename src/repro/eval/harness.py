@@ -16,18 +16,35 @@ trace (see :mod:`repro.obs`): each cell writes
 happens inside the worker that runs the cell, so it composes with the
 process pool, and it never touches the returned observations — CSVs and
 figures stay byte-identical with tracing on.
+
+Pass ``cache`` to memoize per-cell observations on disk between
+processes (see :mod:`repro.perf.cache`): cells whose (workload, scale,
+configuration, energy model, simulator sources) key is already stored
+skip simulation entirely, and only the misses are dispatched to the
+pool.  Cached and cold sweeps return value-identical observations, so
+CSVs stay byte-identical.  Tracing bypasses the cache (a cached cell
+has no events to record), and so do workloads registered outside
+``repro.workloads`` (their code is not fingerprinted by the key).
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.energy.model import DEFAULT_ENERGY_MODEL, EnergyModel
 from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.metrics import CACHE_HIT, CACHE_MISS, MetricSet
 from repro.obs.tracer import Tracer
+from repro.perf.cache import (
+    SWEEP_CODE_PACKAGES,
+    CacheSpec,
+    ResultCache,
+    code_fingerprint,
+    resolve_cache,
+)
 from repro.perf.pool import parallel_map
 from repro.sim.config import INTEGRATED, SystemConfig
 from repro.sim.system import CONFIG_ABBREV, RunResult, all_configurations, run_workload
@@ -60,12 +77,29 @@ class Observation:
 
 @dataclass
 class SweepResult:
-    """All configurations for a set of workloads, normalized to GD0."""
+    """All configurations for a set of workloads, normalized to GD0.
+
+    ``cache_hits``/``cache_misses`` count how many cells were served
+    from / stored into the result cache (both stay 0 when the sweep ran
+    uncached); :meth:`metrics` surfaces them as
+    :mod:`repro.obs.metrics` counters.
+    """
 
     observations: Dict[Tuple[str, str], Observation] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def add(self, obs: Observation) -> None:
         self.observations[(obs.workload, obs.config)] = obs
+
+    def metrics(self) -> MetricSet:
+        """Cache traffic as a :class:`~repro.obs.metrics.MetricSet`."""
+        counters = MetricSet()
+        if self.cache_hits:
+            counters.bump(CACHE_HIT, self.cache_hits)
+        if self.cache_misses:
+            counters.bump(CACHE_MISS, self.cache_misses)
+        return counters
 
     def workloads(self) -> Tuple[str, ...]:
         names: List[str] = []
@@ -163,6 +197,53 @@ def _run_sweep_task(task: _SweepTask) -> Observation:
     )
 
 
+def _cell_cacheable(name: str) -> bool:
+    """Only workloads defined inside ``repro.workloads`` are cached: the
+    sweep key fingerprints that package's sources, so a builder living
+    elsewhere could change without invalidating its entries."""
+    builder = get(name).builder
+    return getattr(builder, "__module__", "").startswith("repro.workloads")
+
+
+def _cell_key(store: ResultCache, task: _SweepTask, code: str) -> str:
+    name, protocol, model, config, scale, energy_model, _ = task
+    return store.key(
+        "sweep_cell",
+        {
+            "workload": name,
+            "protocol": protocol,
+            "model": model,
+            "scale": scale,
+            "config": asdict(config),
+            "energy": asdict(energy_model),
+            "code": code,
+        },
+    )
+
+
+def _encode_observation(obs: Observation) -> Dict:
+    return {
+        "workload": obs.workload,
+        "config": obs.config,
+        "cycles": obs.cycles,
+        "energy_nj": obs.energy_nj,
+    }
+
+
+def _decode_observation(value) -> Optional[Observation]:
+    """The cached cell back as an :class:`Observation`; ``None`` (a
+    miss) when the stored shape is not one."""
+    try:
+        return Observation(
+            workload=value["workload"],
+            config=value["config"],
+            cycles=float(value["cycles"]),
+            energy_nj={str(k): float(v) for k, v in value["energy_nj"].items()},
+        )
+    except (TypeError, KeyError, ValueError, AttributeError):
+        return None
+
+
 def run_sweep(
     workload_names: Sequence[str],
     config: SystemConfig = INTEGRATED,
@@ -170,6 +251,7 @@ def run_sweep(
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     jobs: Optional[int] = 1,
     trace_dir: Optional[str] = None,
+    cache: CacheSpec = None,
 ) -> SweepResult:
     """Run every named workload on all six configurations.
 
@@ -183,10 +265,46 @@ def run_sweep(
     ``trace_dir`` records a per-cell event trace (JSONL + Chrome
     ``trace_event``) into that directory without touching the returned
     observations.
+
+    ``cache`` is a :data:`~repro.perf.cache.CacheSpec` (default: the
+    ``REPRO_CACHE`` environment variable, i.e. off): known cells are
+    read back from disk instead of re-simulated, and only the misses
+    are dispatched.  Tracing bypasses the cache.
     """
     sweep = SweepResult()
     tasks = _sweep_tasks(workload_names, config, scale, energy_model, trace_dir)
-    for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
+    store = resolve_cache(cache) if trace_dir is None else None
+    if store is None:
+        for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
+            sweep.add(obs)
+        return sweep
+
+    code = code_fingerprint(SWEEP_CODE_PACKAGES)
+    results: List[Optional[Observation]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    miss_indices: List[int] = []
+    for index, task in enumerate(tasks):
+        if _cell_cacheable(task[0]):
+            key = _cell_key(store, task, code)
+            found, value = store.get(key)
+            obs = _decode_observation(value) if found else None
+            if obs is not None:
+                results[index] = obs
+                sweep.cache_hits += 1
+                continue
+            keys[index] = key
+            sweep.cache_misses += 1
+        miss_indices.append(index)
+
+    miss_tasks = [tasks[i] for i in miss_indices]
+    for index, obs in zip(
+        miss_indices, parallel_map(_run_sweep_task, miss_tasks, jobs=jobs)
+    ):
+        results[index] = obs
+        if keys[index] is not None:
+            store.put(keys[index], _encode_observation(obs))
+    for obs in results:
+        assert obs is not None
         sweep.add(obs)
     return sweep
 
@@ -224,18 +342,24 @@ def run_figure3(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    cache: CacheSpec = None,
 ) -> SweepResult:
     """Figure 3: all microbenchmarks, 6 configurations."""
-    return run_sweep(micro_names(), scale=scale, jobs=jobs, trace_dir=trace_dir)
+    return run_sweep(
+        micro_names(), scale=scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+    )
 
 
 def run_figure4(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    cache: CacheSpec = None,
 ) -> SweepResult:
     """Figure 4: UTS + BC(4 graphs) + PR(4 graphs), 6 configurations."""
-    return run_sweep(bench_names(), scale=scale, jobs=jobs, trace_dir=trace_dir)
+    return run_sweep(
+        bench_names(), scale=scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+    )
 
 
 def _run_figure1_task(task: Tuple[str, str, float]) -> Tuple[str, str, float]:
@@ -248,21 +372,60 @@ def _run_figure1_task(task: Tuple[str, str, float]) -> Tuple[str, str, float]:
     return (name, model, result.cycles)
 
 
-def run_figure1(scale: float = 1.0, jobs: Optional[int] = None) -> Dict[str, float]:
+def run_figure1(
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
+) -> Dict[str, float]:
     """Figure 1: relaxed vs SC atomics speedup on a discrete GPU.
 
     For each atomic-heavy workload, the speedup of GPU coherence with
     DRFrlx (relaxed atomics honored) over GPU coherence with DRF0 (every
     atomic treated as an SC atomic), on the discrete-GPU configuration.
     """
+    from repro.sim.config import DISCRETE
+
     tasks = [
         (name, model, scale)
         for name in FIGURE1_NAMES
         for model in ("drf0", "drfrlx")
     ]
+    store = resolve_cache(cache)
     cycles: Dict[Tuple[str, str], float] = {}
-    for name, model, value in parallel_map(_run_figure1_task, tasks, jobs=jobs):
+    keys: Dict[Tuple[str, str], str] = {}
+    misses: List[Tuple[str, str, float]] = []
+    if store is not None:
+        code = code_fingerprint(SWEEP_CODE_PACKAGES)
+        for task in tasks:
+            name, model, _ = task
+            if not _cell_cacheable(name):
+                misses.append(task)
+                continue
+            key = store.key(
+                "figure1_cell",
+                {
+                    "workload": name,
+                    "protocol": "gpu",
+                    "model": model,
+                    "scale": scale,
+                    "config": asdict(DISCRETE),
+                    "code": code,
+                },
+            )
+            found, value = store.get(key)
+            if found and isinstance(value, (int, float)) and not isinstance(value, bool):
+                cycles[(name, model)] = float(value)
+            else:
+                keys[(name, model)] = key
+                misses.append(task)
+    else:
+        misses = tasks
+
+    for name, model, value in parallel_map(_run_figure1_task, misses, jobs=jobs):
         cycles[(name, model)] = value
+        key = keys.get((name, model))
+        if store is not None and key is not None:
+            store.put(key, value)
     return {
         name: cycles[(name, "drf0")] / cycles[(name, "drfrlx")]
         for name in FIGURE1_NAMES

@@ -93,6 +93,12 @@ ATOMIC_ISSUED = metric("atomic_issued", "gpu_core", doc="atomic operations issue
 DENOVO_WRITEBACKS = metric(
     "denovo_writebacks", "l2", doc="registered-line writebacks on eviction (DeNovo)"
 )
+CACHE_HIT = metric(
+    "result_cache_hit", "cache", doc="sweep/enumeration cells served from the result cache"
+)
+CACHE_MISS = metric(
+    "result_cache_miss", "cache", doc="sweep/enumeration cells computed and stored"
+)
 
 
 class MetricSet:

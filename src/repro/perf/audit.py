@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.model import check
 from repro.litmus.corpus import CORPUS_DIR, _parse_expectations
 from repro.litmus.dsl import parse
+from repro.perf.cache import CacheSpec, resolve_cache
 from repro.perf.pool import parallel_map
 
 
@@ -38,28 +39,44 @@ class AuditResult:
         return all(exp == act for exp, act, _ in self.verdicts.values())
 
 
-def _audit_file(path: str) -> AuditResult:
-    """Worker: parse one corpus file and check every declared model."""
+def _audit_file(task: Tuple[str, Optional[str]]) -> AuditResult:
+    """Worker: parse one corpus file and check every declared model.
+
+    The second task element is a result-cache root (or None): workers
+    open their own :class:`~repro.perf.cache.ResultCache` on it so the
+    per-program enumerations are memoized across runs.
+    """
+    path, cache_root = task
+    cache = resolve_cache(cache_root) if cache_root is not None else None
     with open(path) as handle:
         text = handle.read()
     program = parse(text)
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]] = {}
     for model, (legal, _kinds) in sorted(_parse_expectations(text).items()):
-        result = check(program, model)
+        result = check(program, model, cache=cache)
         verdicts[model] = (legal, result.legal, result.race_kinds)
     return AuditResult(name=program.name, path=path, verdicts=verdicts)
 
 
 def audit_corpus(
-    directory: str = CORPUS_DIR, jobs: Optional[int] = None
+    directory: str = CORPUS_DIR,
+    jobs: Optional[int] = None,
+    cache: CacheSpec = None,
 ) -> Tuple[AuditResult, ...]:
-    """Audit every corpus file; results in sorted-filename order."""
-    paths = [
-        os.path.join(directory, filename)
+    """Audit every corpus file; results in sorted-filename order.
+
+    ``cache`` memoizes each file's per-model enumerations on disk (see
+    :mod:`repro.perf.cache`); only its directory crosses the process
+    boundary.
+    """
+    store = resolve_cache(cache)
+    root = store.root if store is not None else None
+    tasks = [
+        (os.path.join(directory, filename), root)
         for filename in sorted(os.listdir(directory))
         if filename.endswith(".litmus")
     ]
-    return tuple(parallel_map(_audit_file, paths, jobs=jobs))
+    return tuple(parallel_map(_audit_file, tasks, jobs=jobs))
 
 
 def main(argv=None) -> int:

@@ -3,10 +3,11 @@
 Measures (1) SC-execution enumeration over the litmus corpus — default
 engine (POR + memo + copy-on-write prefixes) vs the naive full-clone
 oracle — (2) a scaled Figure-3 sweep — serial vs process-pool parallel —
-and (3) the observability layer's overhead — untraced vs no-op tracer vs
-fully enabled tracer on one simulation — and writes a
-``BENCH_<date>.json`` record so future PRs have a perf trajectory to
-compare against.
+(3) the result cache — cold (populating) vs fully warm sweep and corpus
+enumerations, in a throwaway cache directory — and (4) the
+observability layer's overhead — untraced vs no-op tracer vs fully
+enabled tracer on one simulation — and writes a ``BENCH_<date>.json``
+record so future PRs have a perf trajectory to compare against.
 
 The measurements double as correctness checks: the enumeration bench
 asserts the two engines produce the same execution sets, and the sweep
@@ -163,15 +164,27 @@ def bench_sweep(
     names: Sequence[str] = MICRO_NAMES,
 ) -> Dict:
     """Time the serial sweep against the process-pool sweep and verify the
-    figure CSV artifacts are byte-identical."""
-    jobs = resolve_jobs(jobs)
+    figure CSV artifacts are byte-identical.
+
+    When the auto-resolved worker count lands on serial (single-CPU
+    host, or a grid smaller than the pool), the "parallel" run *is* the
+    serial run: the section reports ``speedup: 1.0`` with
+    ``serial_fallback: true`` instead of timing pool overhead the
+    library would never pay.
+    """
+    jobs = resolve_jobs(jobs, n_tasks=len(names) * 6)
     t0 = time.perf_counter()
     serial = run_sweep(names, scale=scale)
     wall_serial = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    parallel = run_sweep(names, scale=scale, jobs=jobs)
-    wall_parallel = time.perf_counter() - t0
+    serial_fallback = jobs <= 1
+    if serial_fallback:
+        parallel = serial
+        wall_parallel = wall_serial
+    else:
+        t0 = time.perf_counter()
+        parallel = run_sweep(names, scale=scale, jobs=jobs)
+        wall_parallel = time.perf_counter() - t0
 
     identical = (
         time_csv(serial) == time_csv(parallel)
@@ -183,11 +196,80 @@ def bench_sweep(
         "workloads": list(names),
         "scale": scale,
         "jobs": jobs,
+        "serial_fallback": serial_fallback,
         "simulations": len(serial.observations),
         "wall_s_serial": wall_serial,
         "wall_s_parallel": wall_parallel,
         "speedup": wall_serial / wall_parallel if wall_parallel > 0 else float("inf"),
         "csv_identical": identical,
+    }
+
+
+def bench_cache(
+    scale: float = 0.25,
+    names: Sequence[str] = MICRO_NAMES,
+) -> Dict:
+    """Time a cold (cache-populating) sweep against a fully warm one.
+
+    Runs in a throwaway cache directory so the numbers measure this
+    process's work, not whatever ``~/.cache/repro`` happens to hold, and
+    verifies the cached CSVs are byte-identical to an uncached run.
+    Also times the corpus enumerations cold vs warm through the same
+    cache.  Target: the warm sweep is >=10x faster than cold.
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        t0 = time.perf_counter()
+        cold = run_sweep(names, scale=scale, cache=root)
+        wall_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_sweep(names, scale=scale, cache=root)
+        wall_warm = time.perf_counter() - t0
+        uncached = run_sweep(names, scale=scale)
+        identical = (
+            time_csv(cold) == time_csv(warm) == time_csv(uncached)
+            and energy_csv(cold) == energy_csv(warm) == energy_csv(uncached)
+        )
+        if not identical:
+            raise AssertionError("cached sweep CSVs differ from uncached")
+
+        programs = _corpus_programs()
+        t0 = time.perf_counter()
+        cold_enums = [
+            enumerate_sc_executions(p, cache=root) for _, p in programs
+        ]
+        wall_enum_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_enums = [
+            enumerate_sc_executions(p, cache=root) for _, p in programs
+        ]
+        wall_enum_warm = time.perf_counter() - t0
+        for (name, _), a, b in zip(programs, cold_enums, warm_enums):
+            if {e.canonical_key() for e in a.executions} != {
+                e.canonical_key() for e in b.executions
+            }:
+                raise AssertionError(f"cached enumeration differs on {name}")
+
+    return {
+        "workloads": list(names),
+        "scale": scale,
+        "simulations": len(cold.observations),
+        "cache_misses_cold": cold.cache_misses,
+        "cache_hits_warm": warm.cache_hits,
+        "wall_s_cold": wall_cold,
+        "wall_s_warm": wall_warm,
+        "speedup": wall_cold / wall_warm if wall_warm > 0 else float("inf"),
+        "target_speedup": 10.0,
+        "csv_identical": identical,
+        "enum_programs": len(programs),
+        "wall_s_enum_cold": wall_enum_cold,
+        "wall_s_enum_warm": wall_enum_warm,
+        "enum_speedup": (
+            wall_enum_cold / wall_enum_warm
+            if wall_enum_warm > 0
+            else float("inf")
+        ),
     }
 
 
@@ -276,6 +358,7 @@ def run_bench(
             programs=enum_programs, repeat=repeat, stress=stress
         ),
         "sweep": bench_sweep(scale=scale, jobs=jobs, names=sweep_names),
+        "cache": bench_cache(scale=scale, names=sweep_names),
         "tracing": bench_tracing(
             scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
         ),
@@ -303,12 +386,29 @@ def summarize(record: Dict) -> str:
         f"{enum['paths_default']}, por_pruned={enum['por_pruned']}, "
         f"memo_hits={enum['memo_hits']})"
     )
-    lines.append(
-        f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
-        f"{sweep['wall_s_serial']:.2f}s serial -> "
-        f"{sweep['wall_s_parallel']:.2f}s with {sweep['jobs']} workers "
-        f"({sweep['speedup']:.2f}x; csv identical: {sweep['csv_identical']})"
-    )
+    if sweep.get("serial_fallback"):
+        lines.append(
+            f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
+            f"{sweep['wall_s_serial']:.2f}s serial (auto serial fallback; "
+            f"csv identical: {sweep['csv_identical']})"
+        )
+    else:
+        lines.append(
+            f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
+            f"{sweep['wall_s_serial']:.2f}s serial -> "
+            f"{sweep['wall_s_parallel']:.2f}s with {sweep['jobs']} workers "
+            f"({sweep['speedup']:.2f}x; csv identical: {sweep['csv_identical']})"
+        )
+    cache = record.get("cache")
+    if cache:
+        lines.append(
+            f"cache: {cache['simulations']} sims, "
+            f"{cache['wall_s_cold']:.2f}s cold -> "
+            f"{cache['wall_s_warm']:.3f}s warm "
+            f"({cache['speedup']:.1f}x, target >={cache['target_speedup']:.0f}x; "
+            f"enum {cache['enum_speedup']:.1f}x; "
+            f"csv identical: {cache['csv_identical']})"
+        )
     tracing = record.get("tracing")
     if tracing:
         lines.append(

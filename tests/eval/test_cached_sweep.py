@@ -1,0 +1,144 @@
+"""Cached sweeps: identical artifacts, hit/miss accounting, bypasses."""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.eval.export import energy_csv, time_csv
+from repro.eval.harness import run_figure1, run_sweep
+from repro.obs.metrics import CACHE_HIT, CACHE_MISS
+from repro.perf.cache import ResultCache
+
+SCALE = 0.05
+NAMES = ("SC", "SEQ")
+CELLS = len(NAMES) * 6
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("sweep-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold(cache_root):
+    return run_sweep(NAMES, scale=SCALE, cache=cache_root)
+
+
+@pytest.fixture(scope="module")
+def warm(cold, cache_root):
+    return run_sweep(NAMES, scale=SCALE, cache=cache_root)
+
+
+class TestCachedEqualsCold:
+    def test_hit_miss_accounting(self, cold, warm):
+        assert (cold.cache_hits, cold.cache_misses) == (0, CELLS)
+        assert (warm.cache_hits, warm.cache_misses) == (CELLS, 0)
+
+    def test_metrics_surface_traffic(self, cold, warm):
+        assert warm.metrics().get(CACHE_HIT) == CELLS
+        assert warm.metrics().get(CACHE_MISS) == 0.0
+        assert cold.metrics().get(CACHE_MISS) == CELLS
+
+    def test_observations_byte_identical(self, cold, warm):
+        """Round-tripping through the on-disk format must preserve every
+        observation exactly (floats included)."""
+        assert list(cold.observations) == list(warm.observations)
+        for key, obs in cold.observations.items():
+            assert dataclasses.asdict(obs) == dataclasses.asdict(
+                warm.observations[key]
+            ), key
+
+    def test_csvs_byte_identical_with_uncached(self, cold, warm):
+        uncached = run_sweep(NAMES, scale=SCALE)
+        assert time_csv(cold) == time_csv(warm) == time_csv(uncached)
+        assert energy_csv(cold) == energy_csv(warm) == energy_csv(uncached)
+        assert (uncached.cache_hits, uncached.cache_misses) == (0, 0)
+
+
+class TestInvalidation:
+    def test_scale_change_misses(self, warm, cache_root):
+        other = run_sweep(NAMES, scale=SCALE * 2, cache=cache_root)
+        assert other.cache_hits == 0
+        assert other.cache_misses == CELLS
+
+    def test_config_change_misses(self, warm, cache_root):
+        from repro.sim.config import INTEGRATED
+
+        tweaked = dataclasses.replace(INTEGRATED, l1_kb=INTEGRATED.l1_kb * 2)
+        other = run_sweep(NAMES, config=tweaked, scale=SCALE, cache=cache_root)
+        assert other.cache_hits == 0
+
+    def test_energy_model_change_misses(self, warm, cache_root):
+        from repro.energy.model import DEFAULT_ENERGY_MODEL
+
+        field = dataclasses.fields(DEFAULT_ENERGY_MODEL)[0].name
+        tweaked = dataclasses.replace(
+            DEFAULT_ENERGY_MODEL,
+            **{field: getattr(DEFAULT_ENERGY_MODEL, field) * 2},
+        )
+        other = run_sweep(
+            NAMES, scale=SCALE, energy_model=tweaked, cache=cache_root
+        )
+        assert other.cache_hits == 0
+
+
+class TestRobustnessAndBypasses:
+    def test_corrupted_entries_recompute(self, warm, cache_root):
+        """Satellite: garbage cache files are misses, never crashes."""
+        entries = glob.glob(
+            os.path.join(cache_root, "**", "*.json"), recursive=True
+        )
+        assert entries
+        for path in entries:
+            with open(path, "wb") as handle:
+                handle.write(b"\x00 not json \xff")
+        again = run_sweep(NAMES, scale=SCALE, cache=cache_root)
+        assert again.cache_hits == 0
+        assert again.cache_misses == CELLS
+        assert time_csv(again) == time_csv(warm)
+        # and the rewritten entries hit on the next pass
+        fixed = run_sweep(NAMES, scale=SCALE, cache=cache_root)
+        assert fixed.cache_hits == CELLS
+
+    def test_tracing_bypasses_cache(self, tmp_path):
+        root = str(tmp_path / "cache")
+        trace_dir = str(tmp_path / "traces")
+        swept = run_sweep(
+            ("SC",), scale=SCALE, trace_dir=trace_dir, cache=root
+        )
+        assert (swept.cache_hits, swept.cache_misses) == (0, 0)
+        assert ResultCache(root).entry_count() == 0
+        assert glob.glob(os.path.join(trace_dir, "*.jsonl"))
+
+    def test_unregistered_package_workload_bypasses_cache(self, tmp_path):
+        """A workload whose builder lives outside repro.workloads is not
+        fingerprinted, so it must not be cached."""
+        from repro.workloads import base as wbase
+
+        def builder(config, scale):
+            return wbase.get("SC").builder(config, scale)
+
+        name = "cache-test-foreign"
+        wbase.register(
+            wbase.Workload(
+                name=name, kind="test", input_desc="", atomic_types=(),
+                description="", builder=builder,
+            )
+        )
+        try:
+            root = str(tmp_path / "cache")
+            swept = run_sweep((name,), scale=SCALE, cache=root)
+            assert (swept.cache_hits, swept.cache_misses) == (0, 0)
+            assert ResultCache(root).entry_count() == 0
+        finally:
+            wbase._REGISTRY.pop(name, None)
+
+
+def test_figure1_cached_equals_cold(tmp_path):
+    root = str(tmp_path / "cache")
+    cold = run_figure1(scale=SCALE, cache=root)
+    warm = run_figure1(scale=SCALE, cache=root)
+    plain = run_figure1(scale=SCALE)
+    assert cold == warm == plain

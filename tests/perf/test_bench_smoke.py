@@ -55,7 +55,9 @@ def test_bench_harness_emits_valid_json(tmp_path):
     )
     with open(path) as handle:
         record = json.load(handle)
-    assert set(record) == {"date", "host", "enumeration", "sweep", "tracing"}
+    assert set(record) == {
+        "date", "host", "enumeration", "sweep", "tracing", "cache",
+    }
     assert record["host"]["cpu_count"] >= 1
     enum = record["enumeration"]
     assert enum["programs"] == 3
@@ -66,6 +68,10 @@ def test_bench_harness_emits_valid_json(tmp_path):
     tracing = record["tracing"]
     assert tracing["events"] > 0
     assert tracing["wall_s_untraced"] > 0
+    cache = record["cache"]
+    assert cache["csv_identical"] is True
+    assert cache["cache_hits_warm"] == cache["cache_misses_cold"] > 0
+    assert cache["speedup"] > 1.0
 
 
 @pytest.mark.bench
@@ -78,4 +84,5 @@ def test_bench_cli_quick(tmp_path, capsys):
     captured = capsys.readouterr()
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
+    assert "cache:" in out
     assert "deprecated" in captured.err

@@ -1,0 +1,224 @@
+"""The content-addressed result cache: keys, invalidation, robustness."""
+
+import dataclasses
+import glob
+import os
+
+import pytest
+
+from repro.core.executions import SCEnumeration, enumerate_sc_executions
+from repro.energy.model import DEFAULT_ENERGY_MODEL
+from repro.eval.harness import _cell_key
+from repro.litmus.library import get as get_litmus
+from repro.obs.tracer import Tracer
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+    resolve_cache,
+)
+from repro.sim.config import DISCRETE, INTEGRATED
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def _entry_files(store):
+    return sorted(
+        glob.glob(os.path.join(store.root, "**", "*.json"), recursive=True)
+        + glob.glob(os.path.join(store.root, "**", "*.pkl"), recursive=True)
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, store):
+        key = store.key("unit", {"a": 1})
+        assert store.get(key) == (False, None)
+        store.put(key, {"cycles": 123.25, "energy_nj": {"l1": 0.5}})
+        hit, value = store.get(key)
+        assert hit and value == {"cycles": 123.25, "energy_nj": {"l1": 0.5}}
+        assert (store.hits, store.misses, store.stores) == (1, 1, 1)
+
+    def test_pickle_round_trip(self, store):
+        key = store.key("unit", {"b": 2})
+        store.put(key, ("tuple", frozenset({1, 2})), codec="pickle")
+        assert store.get(key, codec="pickle") == (True, ("tuple", frozenset({1, 2})))
+
+    def test_float_values_byte_identical(self, store):
+        """JSON float repr round-trips exactly, so cached observations
+        reproduce cold-run CSV bytes."""
+        value = {"cycles": 1234.000000000309, "frac": 0.1 + 0.2}
+        key = store.key("unit", value)
+        store.put(key, value)
+        _, back = store.get(key)
+        assert back == value  # exact float equality, not approx
+
+    def test_clear_and_count(self, store):
+        for i in range(3):
+            store.put(store.key("unit", i), i)
+        assert store.entry_count() == 3
+        assert store.clear() == 3
+        assert store.entry_count() == 0
+
+
+class TestKeyInvalidation:
+    """Every key ingredient must change the key (satellite: scale,
+    SystemConfig field, energy model, source fingerprint)."""
+
+    def _task(self, scale=0.1, config=INTEGRATED, energy=DEFAULT_ENERGY_MODEL):
+        return ("SC", "gpu", "drf0", config, scale, energy, None)
+
+    def test_scale_changes_key(self, store):
+        a = _cell_key(store, self._task(scale=0.1), "code")
+        b = _cell_key(store, self._task(scale=0.2), "code")
+        assert a != b
+
+    def test_system_config_field_changes_key(self, store):
+        tweaked = dataclasses.replace(INTEGRATED, l2_kb_total=INTEGRATED.l2_kb_total * 2)
+        a = _cell_key(store, self._task(config=INTEGRATED), "code")
+        b = _cell_key(store, self._task(config=tweaked), "code")
+        assert a != b
+
+    def test_whole_config_changes_key(self, store):
+        a = _cell_key(store, self._task(config=INTEGRATED), "code")
+        b = _cell_key(store, self._task(config=DISCRETE), "code")
+        assert a != b
+
+    def test_energy_model_changes_key(self, store):
+        field = dataclasses.fields(DEFAULT_ENERGY_MODEL)[0].name
+        tweaked = dataclasses.replace(
+            DEFAULT_ENERGY_MODEL, **{field: getattr(DEFAULT_ENERGY_MODEL, field) + 1.0}
+        )
+        a = _cell_key(store, self._task(energy=DEFAULT_ENERGY_MODEL), "code")
+        b = _cell_key(store, self._task(energy=tweaked), "code")
+        assert a != b
+
+    def test_code_fingerprint_changes_key(self, store):
+        a = _cell_key(store, self._task(), "fingerprint-a")
+        b = _cell_key(store, self._task(), "fingerprint-b")
+        assert a != b
+
+    def test_workload_name_changes_key(self, store):
+        a = store.key("sweep_cell", {"workload": "SC"})
+        b = store.key("sweep_cell", {"workload": "SEQ"})
+        assert a != b
+
+    def test_kind_partitions_keys(self, store):
+        assert store.key("sweep_cell", {"x": 1}) != store.key("enumeration", {"x": 1})
+
+
+class TestCodeFingerprint:
+    def test_stable_across_calls(self):
+        pkgs = ("repro.sim", "repro.energy")
+        assert code_fingerprint(pkgs) == code_fingerprint(pkgs)
+
+    def test_source_edit_changes_fingerprint(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "fp_probe_pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("VALUE = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        before = code_fingerprint(("fp_probe_pkg",))
+        code_fingerprint.cache_clear()
+        (pkg / "__init__.py").write_text("VALUE = 2\n")
+        after = code_fingerprint(("fp_probe_pkg",))
+        code_fingerprint.cache_clear()
+        assert before != after
+
+
+class TestCorruption:
+    """Satellite: corrupted/truncated entries are a miss, never a crash."""
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"", b"{", b"not json at all \x00\xff", b'{"schema_version": 999}',
+         b'{"no_value": true}', b"[1, 2, 3]"],
+        ids=["empty", "truncated", "binary", "bad-schema", "no-value", "non-dict"],
+    )
+    def test_garbage_json_entry_is_miss(self, store, garbage):
+        key = store.key("unit", "x")
+        path = store.put(key, {"ok": 1})
+        with open(path, "wb") as handle:
+            handle.write(garbage)
+        hit, value = store.get(key)
+        assert not hit and value is None
+        # and the garbage entry was dropped so a re-put recovers it
+        store.put(key, {"ok": 2})
+        assert store.get(key) == (True, {"ok": 2})
+
+    def test_truncated_pickle_entry_is_miss(self, store):
+        key = store.key("unit", "y")
+        path = store.put(key, ("big", list(range(100))), codec="pickle")
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert store.get(key, codec="pickle") == (False, None)
+
+    def test_missing_directory_reads_clean(self, tmp_path):
+        store = ResultCache(str(tmp_path / "never-created"))
+        assert store.get(store.key("unit", 1)) == (False, None)
+        assert store.entry_count() == 0
+        assert store.clear() == 0
+
+
+class TestResolution:
+    def test_cache_dir_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")
+        assert resolve_cache(True).root == str(tmp_path / "custom")
+
+    def test_none_consults_repro_cache_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert resolve_cache(None) is None
+        monkeypatch.setenv(CACHE_ENV, "1")
+        assert resolve_cache(None).root == str(tmp_path / "envcache")
+        monkeypatch.setenv(CACHE_ENV, "0")
+        assert resolve_cache(None) is None
+
+    def test_false_disables(self):
+        assert resolve_cache(False) is None
+
+    def test_string_and_instance_pass_through(self, tmp_path):
+        assert resolve_cache(str(tmp_path)).root == str(tmp_path)
+        store = ResultCache(str(tmp_path))
+        assert resolve_cache(store) is store
+
+
+class TestEnumerationCache:
+    def test_hit_returns_equal_enumeration(self, store):
+        program = get_litmus("mp_paired").program
+        cold = enumerate_sc_executions(program, cache=store)
+        assert store.stores == 1
+        warm = enumerate_sc_executions(program, cache=store)
+        assert store.hits == 1
+        assert isinstance(warm, SCEnumeration)
+        assert {e.canonical_key() for e in warm.executions} == {
+            e.canonical_key() for e in cold.executions
+        }
+        assert warm.stats == cold.stats
+        assert warm.final_results() == cold.final_results()
+
+    def test_different_programs_different_entries(self, store):
+        enumerate_sc_executions(get_litmus("mp_paired").program, cache=store)
+        enumerate_sc_executions(get_litmus("sb_paired").program, cache=store)
+        assert store.entry_count() == 2
+
+    def test_tracer_bypasses_cache(self, store):
+        program = get_litmus("mp_paired").program
+        enumerate_sc_executions(program, cache=store, tracer=Tracer())
+        assert store.entry_count() == 0
+
+    def test_corrupted_entry_recomputes(self, store):
+        program = get_litmus("mp_paired").program
+        cold = enumerate_sc_executions(program, cache=store)
+        (path,) = _entry_files(store)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80garbage")
+        again = enumerate_sc_executions(program, cache=store)
+        assert {e.canonical_key() for e in again.executions} == {
+            e.canonical_key() for e in cold.executions
+        }

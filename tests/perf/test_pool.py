@@ -1,0 +1,105 @@
+"""Pool scheduling: auto-sizing, chunked dispatch, probe fallback."""
+
+import os
+
+import pytest
+
+from repro.perf import pool
+from repro.perf.pool import (
+    JOBS_ENV,
+    chunk_size,
+    executor_is_warm,
+    parallel_map,
+    resolve_jobs,
+    shutdown_executor,
+)
+
+
+def _double(x):
+    return x * 2
+
+
+@pytest.fixture(autouse=True)
+def no_jobs_env(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+
+
+class TestAutoSizing:
+    """Satellite: jobs=None on a 1-CPU host (or a grid smaller than the
+    worker count) must resolve to serial."""
+
+    def test_single_cpu_resolves_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_jobs() == 1
+        assert resolve_jobs(n_tasks=100) == 1
+
+    def test_grid_smaller_than_workers_resolves_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_jobs(n_tasks=4) == 1
+
+    def test_grid_at_least_workers_uses_them(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_jobs(n_tasks=8) == 8
+        assert resolve_jobs(n_tasks=None) == 8
+
+    def test_explicit_jobs_not_clamped(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_jobs(4, n_tasks=2) == 4
+
+    def test_env_override_not_clamped(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(n_tasks=2) == 3
+
+    def test_cpu_count_unavailable(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs() == 1
+
+
+class TestChunking:
+    @pytest.mark.parametrize(
+        "n_tasks,jobs,expected",
+        [(12, 4, 3), (13, 4, 4), (10, 3, 4), (1, 8, 1), (8, 1, 8), (0, 4, 1)],
+    )
+    def test_one_chunk_per_worker(self, n_tasks, jobs, expected):
+        assert chunk_size(n_tasks, jobs) == expected
+
+
+class TestProbeFallback:
+    def test_cheap_tasks_never_touch_the_pool(self, monkeypatch):
+        def boom(workers):
+            raise AssertionError("pool dispatched for un-amortizable work")
+
+        monkeypatch.setattr(pool, "_get_executor", boom)
+        out = parallel_map(_double, list(range(50)), jobs=4, probe=True)
+        assert out == [x * 2 for x in range(50)]
+
+    def test_probe_preserves_order_and_results(self):
+        out = parallel_map(_double, [3, 1, 2], jobs=2, probe=True)
+        assert out == [6, 2, 4]
+
+    def test_jobs_one_serial(self):
+        assert parallel_map(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_single_task_serial(self, monkeypatch):
+        def boom(workers):
+            raise AssertionError("pool dispatched for one task")
+
+        monkeypatch.setattr(pool, "_get_executor", boom)
+        assert parallel_map(_double, [21], jobs=8) == [42]
+
+
+class TestWarmExecutor:
+    def test_dispatch_reuses_warm_executor(self):
+        shutdown_executor()
+        try:
+            assert not executor_is_warm(2)
+            first = parallel_map(_double, [1, 2, 3, 4], jobs=2, probe=False)
+            assert first == [2, 4, 6, 8]
+            assert executor_is_warm(2)
+            second = parallel_map(_double, [5, 6, 7, 8], jobs=2, probe=False)
+            assert second == [10, 12, 14, 16]
+            assert executor_is_warm(2)
+        finally:
+            shutdown_executor()
+        assert not executor_is_warm(2)
