@@ -63,6 +63,13 @@ def _shared_flags() -> argparse.ArgumentParser:
         "--cache-clear", action="store_true",
         help="delete every result-cache entry before running",
     )
+    shared.add_argument(
+        "--engine", choices=("auto", "compiled", "reference"), default="auto",
+        help="simulator execution engine: 'compiled' is the ahead-of-time "
+             "trace-compiled fast path, 'reference' the instrumented "
+             "interpreter; 'auto' (default) compiles unless tracing. "
+             "Both produce identical results",
+    )
     return shared
 
 
@@ -88,6 +95,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         trace_dir=args.trace,
         cache=_cli_cache(args, default=True),
+        engine=args.engine,
     )
     for name in sorted(artifacts):
         print(f"== {name} " + "=" * max(0, 60 - len(name)))
@@ -104,12 +112,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.quick:
         path = run_bench(
             out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
-            sweep_names=("SC", "SEQ"), stress=False,
+            sweep_names=("SC", "SEQ"), stress=False, engine=args.engine,
         )
     else:
         path = run_bench(
             out_dir=args.out or ".", scale=args.scale, jobs=args.jobs,
-            repeat=args.repeat,
+            repeat=args.repeat, engine=args.engine,
         )
     with open(path) as handle:
         record = json.load(handle)
@@ -175,7 +183,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
         protocol, model = {v: k for k, v in CONFIG_ABBREV.items()}[args.config]
         kernel = get_workload(args.target).build(INTEGRATED, args.scale)
-        result = run_workload(kernel, protocol, model, INTEGRATED, tracer=tracer)
+        # A live tracer forces the reference interpreter whatever the
+        # --engine flag says; run_workload handles the fallback.
+        result = run_workload(
+            kernel, protocol, model, INTEGRATED, tracer=tracer,
+            engine=args.engine,
+        )
         paths = _write_trace_files(
             tracer, out_dir, f"{args.target}_{args.config}"
         )

@@ -966,6 +966,39 @@ def _enumerate_naive(
     )
 
 
+#: Programs whose static step bound (see :func:`static_step_bound`) is at
+#: most this take the naive interleaver when the caller does not force an
+#: engine: with a handful of memory operations the whole interleaving
+#: space is a few dozen schedules, and the POR sleep-set / memo
+#: bookkeeping costs more than it prunes (the sub-1.0x per-program
+#: entries the bench harness used to report on the tiny corpus tests).
+SMALL_PROGRAM_STEPS = 4
+
+
+def _body_step_bound(body) -> int:
+    """Upper bound on the memory operations one pass of *body* executes."""
+    total = 0
+    for instr in body:
+        if isinstance(instr, (Load, Store, Rmw)):
+            total += 1
+        elif isinstance(instr, If):
+            total += max(
+                _body_step_bound(instr.then), _body_step_bound(instr.orelse)
+            )
+        elif isinstance(instr, While):
+            total += instr.max_iters * _body_step_bound(instr.body)
+    return total
+
+
+def static_step_bound(program: Program) -> int:
+    """Static bound on the memory operations any execution of *program*
+    performs (loops weighted by their unrolling bound).  This is the
+    size measure behind the small-program fast path: it is cheap, purely
+    syntactic, and monotone in the interleaving space the enumerator
+    would have to search."""
+    return sum(_body_step_bound(thread.body) for thread in program.threads)
+
+
 def enumerate_sc_executions(
     program: Program,
     max_executions: Optional[int] = None,
@@ -983,6 +1016,11 @@ def enumerate_sc_executions(
     ``memo`` forces the re-convergence memo on or off; the default
     (``None``) enables it for multi-threaded programs (a perf-attribution
     knob for the bench harness; it never changes the execution set).
+    Under engine defaults (``naive=False``, ``memo=None``), programs
+    whose :func:`static_step_bound` is at most
+    :data:`SMALL_PROGRAM_STEPS` take the naive interleaver regardless:
+    for tiny litmus tests the POR/memo machinery costs more than it
+    prunes, and both engines produce the same execution set.
     ``tracer`` records one event per search step / POR prune / memo hit
     / distinct execution ("cycle" is the step count); the default is the
     no-op tracer.
@@ -1016,6 +1054,12 @@ def enumerate_sc_executions(
                 return value
 
     if naive:
+        result = _enumerate_naive(program, max_executions, tracer=tracer)
+    elif memo is None and static_step_bound(program) <= SMALL_PROGRAM_STEPS:
+        # Engine defaults only: a caller forcing ``memo`` has asked for
+        # the reduction machinery and gets it regardless of size.  Both
+        # engines produce the same execution set (the bench asserts it),
+        # so the gate is invisible except in wall clock.
         result = _enumerate_naive(program, max_executions, tracer=tracer)
     else:
         result = _enumerate_por(

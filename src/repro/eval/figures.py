@@ -84,8 +84,11 @@ def figure3(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     cache: CacheSpec = None,
+    engine: str = "auto",
 ) -> Tuple[SweepResult, str]:
-    sweep = run_figure3(scale, jobs=jobs, trace_dir=trace_dir, cache=cache)
+    sweep = run_figure3(
+        scale, jobs=jobs, trace_dir=trace_dir, cache=cache, engine=engine
+    )
     text = (
         render_time_figure(sweep, "Figure 3(a): microbenchmarks")
         + "\n\n"
@@ -99,8 +102,11 @@ def figure4(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     cache: CacheSpec = None,
+    engine: str = "auto",
 ) -> Tuple[SweepResult, str]:
-    sweep = run_figure4(scale, jobs=jobs, trace_dir=trace_dir, cache=cache)
+    sweep = run_figure4(
+        scale, jobs=jobs, trace_dir=trace_dir, cache=cache, engine=engine
+    )
     text = (
         render_time_figure(sweep, "Figure 4(a): benchmarks")
         + "\n\n"

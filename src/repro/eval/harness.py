@@ -155,8 +155,8 @@ class SweepResult:
 # -- sweep task plumbing -------------------------------------------------------
 
 #: One simulation: (workload name, protocol, model, config, scale,
-#: energy model, trace directory or None).
-_SweepTask = Tuple[str, str, str, SystemConfig, float, EnergyModel, Optional[str]]
+#: energy model, trace directory or None, engine).
+_SweepTask = Tuple[str, str, str, SystemConfig, float, EnergyModel, Optional[str], str]
 
 
 def _sweep_tasks(
@@ -165,21 +165,53 @@ def _sweep_tasks(
     scale: float,
     energy_model: EnergyModel,
     trace_dir: Optional[str] = None,
+    engine: str = "auto",
 ) -> List[_SweepTask]:
     return [
-        (name, protocol, model, config, scale, energy_model, trace_dir)
+        (name, protocol, model, config, scale, energy_model, trace_dir, engine)
         for name in workload_names
         for protocol, model in all_configurations()
     ]
 
 
+#: Per-process memo of (built kernel, compiled form) for the cell the
+#: pool worker is currently sweeping.  Tasks are workload-major, so the
+#: six configurations of one (workload, scale, config) hit the same
+#: entry back to back; a handful of slots absorbs pool chunking.
+_CELL_MEMO: Dict[Tuple, Tuple] = {}
+_CELL_MEMO_CAP = 4
+
+
+def _compiled_cell(name: str, config: SystemConfig, scale: float) -> Tuple:
+    """The cell's kernel plus its ahead-of-time compiled form, memoized
+    per worker process so one lowering serves all six configurations."""
+    from repro.sim.compile import compile_kernel
+
+    key = (name, scale, tuple(sorted(asdict(config).items())))
+    entry = _CELL_MEMO.get(key)
+    if entry is None:
+        kernel = get(name).build(config, scale)
+        entry = (kernel, compile_kernel(kernel, config))
+        while len(_CELL_MEMO) >= _CELL_MEMO_CAP:
+            _CELL_MEMO.pop(next(iter(_CELL_MEMO)))
+        _CELL_MEMO[key] = entry
+    return entry
+
+
 def _run_sweep_task(task: _SweepTask) -> Observation:
     """Worker for one (workload, configuration) cell; module-level so it is
     picklable by reference into a process pool."""
-    name, protocol, model, config, scale, energy_model, trace_dir = task
-    kernel = get(name).build(config, scale)
+    name, protocol, model, config, scale, energy_model, trace_dir, engine = task
     tracer = Tracer() if trace_dir is not None else None
-    result = run_workload(kernel, protocol, model, config, tracer=tracer)
+    compiled = None
+    if engine != "reference" and tracer is None:
+        kernel, compiled = _compiled_cell(name, config, scale)
+    else:
+        kernel = get(name).build(config, scale)
+    result = run_workload(
+        kernel, protocol, model, config, tracer=tracer,
+        engine=engine, compiled=compiled,
+    )
     cfg = CONFIG_ABBREV[(protocol, model)]
     if tracer is not None:
         stem = f"{name}_{cfg}"
@@ -206,7 +238,10 @@ def _cell_cacheable(name: str) -> bool:
 
 
 def _cell_key(store: ResultCache, task: _SweepTask, code: str) -> str:
-    name, protocol, model, config, scale, energy_model, _ = task
+    # The engine is deliberately absent from the key: both engines are
+    # required (and tested) to produce identical observations, so cached
+    # cells are shared across them.
+    name, protocol, model, config, scale, energy_model = task[:6]
     return store.key(
         "sweep_cell",
         {
@@ -252,6 +287,7 @@ def run_sweep(
     jobs: Optional[int] = 1,
     trace_dir: Optional[str] = None,
     cache: CacheSpec = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Run every named workload on all six configurations.
 
@@ -270,9 +306,22 @@ def run_sweep(
     ``REPRO_CACHE`` environment variable, i.e. off): known cells are
     read back from disk instead of re-simulated, and only the misses
     are dispatched.  Tracing bypasses the cache.
+
+    ``engine`` selects the simulator's execution engine (see
+    :data:`repro.sim.system.ENGINES`): ``"auto"`` takes the compiled
+    fast path unless the cell is being traced, ``"reference"`` forces
+    the instrumented interpreter.  Both engines produce identical
+    observations — and therefore identical CSVs and figures — so the
+    choice is purely a wall-clock one.
     """
+    from repro.sim.system import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     sweep = SweepResult()
-    tasks = _sweep_tasks(workload_names, config, scale, energy_model, trace_dir)
+    tasks = _sweep_tasks(
+        workload_names, config, scale, energy_model, trace_dir, engine
+    )
     store = resolve_cache(cache) if trace_dir is None else None
     if store is None:
         for obs in parallel_map(_run_sweep_task, tasks, jobs=jobs):
@@ -343,10 +392,12 @@ def run_figure3(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     cache: CacheSpec = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Figure 3: all microbenchmarks, 6 configurations."""
     return run_sweep(
-        micro_names(), scale=scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+        micro_names(), scale=scale, jobs=jobs, trace_dir=trace_dir,
+        cache=cache, engine=engine,
     )
 
 
@@ -355,10 +406,12 @@ def run_figure4(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     cache: CacheSpec = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Figure 4: UTS + BC(4 graphs) + PR(4 graphs), 6 configurations."""
     return run_sweep(
-        bench_names(), scale=scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+        bench_names(), scale=scale, jobs=jobs, trace_dir=trace_dir,
+        cache=cache, engine=engine,
     )
 
 

@@ -41,6 +41,7 @@ def generate_all(
     jobs: Optional[int] = None,
     trace_dir: Optional[str] = None,
     cache=None,
+    engine: str = "auto",
 ) -> Dict[str, str]:
     """Regenerate every table and figure; returns artifact name -> text.
 
@@ -50,7 +51,9 @@ def generate_all(
     changing any artifact byte.  ``cache`` (a
     :data:`repro.perf.cache.CacheSpec`) serves already-simulated sweep
     cells from the on-disk result cache; cached and cold runs write
-    byte-identical artifacts.
+    byte-identical artifacts.  ``engine`` picks the simulator engine
+    for the sweeps (see :data:`repro.sim.system.ENGINES`); both engines
+    write byte-identical artifacts.
     """
     artifacts: Dict[str, str] = {}
     artifacts["table1.txt"] = tables.table1()
@@ -64,11 +67,11 @@ def generate_all(
     artifacts["figure1.txt"] = figures.figure1(scale, jobs=jobs, cache=cache)
     artifacts["figure2.txt"] = figures.figure2()
     sweep3, text3 = figures.figure3(
-        scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+        scale, jobs=jobs, trace_dir=trace_dir, cache=cache, engine=engine
     )
     artifacts["figure3.txt"] = text3 + "\n\n" + headline_averages(sweep3)
     sweep4, text4 = figures.figure4(
-        scale, jobs=jobs, trace_dir=trace_dir, cache=cache
+        scale, jobs=jobs, trace_dir=trace_dir, cache=cache, engine=engine
     )
     artifacts["figure4.txt"] = text4 + "\n\n" + headline_averages(sweep4)
 

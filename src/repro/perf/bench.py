@@ -3,15 +3,18 @@
 Measures (1) SC-execution enumeration over the litmus corpus — default
 engine (POR + memo + copy-on-write prefixes) vs the naive full-clone
 oracle — (2) a scaled Figure-3 sweep — serial vs process-pool parallel —
-(3) the result cache — cold (populating) vs fully warm sweep and corpus
-enumerations, in a throwaway cache directory — and (4) the
-observability layer's overhead — untraced vs no-op tracer vs fully
-enabled tracer on one simulation — and writes a ``BENCH_<date>.json``
-record so future PRs have a perf trajectory to compare against.
+(3) the trace-compiled simulator engine vs the reference interpreter on
+a cold sweep — (4) the result cache — cold (populating) vs fully warm
+sweep and corpus enumerations, in a throwaway cache directory — and
+(5) the observability layer's overhead — untraced vs no-op tracer vs
+fully enabled tracer on one simulation — and writes a
+``BENCH_<date>.json`` record so future PRs have a perf trajectory to
+compare against.
 
 The measurements double as correctness checks: the enumeration bench
 asserts the two engines produce the same execution sets, and the sweep
-bench asserts the parallel CSV artifacts are byte-identical to serial.
+and simgen benches assert their CSV artifacts are byte-identical
+(parallel vs serial; compiled vs reference).
 
 Run ``python -m repro bench [--scale S] [--jobs N] [--repeat R]
 [--out DIR] [--quick]`` (``python -m repro.perf.bench`` is a deprecated
@@ -162,6 +165,7 @@ def bench_sweep(
     scale: float = 0.25,
     jobs: Optional[int] = None,
     names: Sequence[str] = MICRO_NAMES,
+    engine: str = "auto",
 ) -> Dict:
     """Time the serial sweep against the process-pool sweep and verify the
     figure CSV artifacts are byte-identical.
@@ -174,7 +178,7 @@ def bench_sweep(
     """
     jobs = resolve_jobs(jobs, n_tasks=len(names) * 6)
     t0 = time.perf_counter()
-    serial = run_sweep(names, scale=scale)
+    serial = run_sweep(names, scale=scale, engine=engine)
     wall_serial = time.perf_counter() - t0
 
     serial_fallback = jobs <= 1
@@ -183,7 +187,7 @@ def bench_sweep(
         wall_parallel = wall_serial
     else:
         t0 = time.perf_counter()
-        parallel = run_sweep(names, scale=scale, jobs=jobs)
+        parallel = run_sweep(names, scale=scale, jobs=jobs, engine=engine)
         wall_parallel = time.perf_counter() - t0
 
     identical = (
@@ -196,6 +200,7 @@ def bench_sweep(
         "workloads": list(names),
         "scale": scale,
         "jobs": jobs,
+        "engine": engine,
         "serial_fallback": serial_fallback,
         "simulations": len(serial.observations),
         "wall_s_serial": wall_serial,
@@ -273,6 +278,73 @@ def bench_cache(
     }
 
 
+def bench_simgen(
+    scale: float = 0.25,
+    names: Sequence[str] = MICRO_NAMES,
+    repeat: int = 3,
+) -> Dict:
+    """Time the compiled (trace-compiled) simulator engine against the
+    reference interpreter on a cold sweep, tracer off.
+
+    Engines are interleaved per workload and the best of *repeat* rounds
+    is kept on each side, so host noise hits both equally.  The compiled
+    rounds include ahead-of-time lowering (the per-process kernel memo
+    is smaller than the workload set, so every round re-compiles) — this
+    is the cold cost a figure regeneration actually pays.  Also asserts
+    the two engines' figure CSVs are byte-identical; a fast path that
+    drifted from the reference semantics would be measuring the wrong
+    simulator.
+    """
+    best_ref: Dict[str, float] = {}
+    best_comp: Dict[str, float] = {}
+    for _ in range(max(1, repeat)):
+        for name in names:
+            t0 = time.perf_counter()
+            run_sweep([name], scale=scale, engine="reference")
+            elapsed = time.perf_counter() - t0
+            if name not in best_ref or elapsed < best_ref[name]:
+                best_ref[name] = elapsed
+            t0 = time.perf_counter()
+            run_sweep([name], scale=scale, engine="compiled")
+            elapsed = time.perf_counter() - t0
+            if name not in best_comp or elapsed < best_comp[name]:
+                best_comp[name] = elapsed
+
+    reference = run_sweep(names, scale=scale, engine="reference")
+    compiled = run_sweep(names, scale=scale, engine="compiled")
+    identical = (
+        time_csv(reference) == time_csv(compiled)
+        and energy_csv(reference) == energy_csv(compiled)
+    )
+    if not identical:
+        raise AssertionError("compiled-engine sweep CSVs differ from reference")
+
+    wall_ref = sum(best_ref.values())
+    wall_comp = sum(best_comp.values())
+    return {
+        "workloads": list(names),
+        "scale": scale,
+        "repeat": repeat,
+        "simulations": len(names) * 6,
+        "wall_s_reference": wall_ref,
+        "wall_s_compiled": wall_comp,
+        "speedup": wall_ref / wall_comp if wall_comp > 0 else float("inf"),
+        "target_speedup": 2.5,
+        "csv_identical": identical,
+        "per_workload": [
+            {
+                "workload": name,
+                "wall_s_reference": best_ref[name],
+                "wall_s_compiled": best_comp[name],
+                "speedup": best_ref[name] / best_comp[name]
+                if best_comp[name] > 0
+                else float("inf"),
+            }
+            for name in names
+        ],
+    }
+
+
 def bench_tracing(
     scale: float = 0.2,
     workload: str = "SC",
@@ -345,8 +417,14 @@ def run_bench(
     sweep_names: Sequence[str] = MICRO_NAMES,
     enum_programs: Optional[Sequence[Tuple[str, Program]]] = None,
     stress: bool = True,
+    engine: str = "auto",
 ) -> str:
-    """Run all benchmarks and write ``BENCH_<date>.json``; returns the path."""
+    """Run all benchmarks and write ``BENCH_<date>.json``; returns the path.
+
+    ``engine`` selects the simulator engine for the sweep section
+    (serial vs parallel); the simgen section always compares both
+    engines regardless.
+    """
     record = {
         "date": date.today().isoformat(),
         "host": {
@@ -357,7 +435,10 @@ def run_bench(
         "enumeration": bench_enumeration(
             programs=enum_programs, repeat=repeat, stress=stress
         ),
-        "sweep": bench_sweep(scale=scale, jobs=jobs, names=sweep_names),
+        "sweep": bench_sweep(
+            scale=scale, jobs=jobs, names=sweep_names, engine=engine
+        ),
+        "simgen": bench_simgen(scale=scale, names=sweep_names, repeat=repeat),
         "cache": bench_cache(scale=scale, names=sweep_names),
         "tracing": bench_tracing(
             scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
@@ -398,6 +479,16 @@ def summarize(record: Dict) -> str:
             f"{sweep['wall_s_serial']:.2f}s serial -> "
             f"{sweep['wall_s_parallel']:.2f}s with {sweep['jobs']} workers "
             f"({sweep['speedup']:.2f}x; csv identical: {sweep['csv_identical']})"
+        )
+    simgen = record.get("simgen")
+    if simgen:
+        lines.append(
+            f"simgen: {simgen['simulations']} sims at scale {simgen['scale']}, "
+            f"{simgen['wall_s_reference']:.2f}s reference -> "
+            f"{simgen['wall_s_compiled']:.2f}s compiled "
+            f"({simgen['speedup']:.2f}x, "
+            f"target >={simgen['target_speedup']:.1f}x; "
+            f"csv identical: {simgen['csv_identical']})"
         )
     cache = record.get("cache")
     if cache:

@@ -27,7 +27,7 @@ from repro.sim.coherence.base import CoherenceProtocol
 from repro.sim.mem.cache import LineState
 
 
-@dataclass
+@dataclass(slots=True)
 class _WordMiss:
     """An in-flight word-registration transfer."""
 
@@ -57,12 +57,12 @@ class DeNovoCoherence(CoherenceProtocol):
     def _remote_transfer(self, now: float, line: int, owner: int, take_ownership: bool) -> float:
         """Line request forwarded through the home registry to the owner."""
         home = self.l2.home_node(line)
-        req = self.mesh.send(now, self.node, home, self.config.ctrl_flits())
+        req = self.mesh.send(now, self.node, home, self._ctrl_flits)
         self._noc(req)
         bank = self.l2.banks[home]
         at_dir = bank.port.acquire(req.arrival, self.config.l2_bank_service)
-        self.stats.bump(S.L2_ACCESS)
-        fwd = self.mesh.send(at_dir, home, owner, self.config.ctrl_flits())
+        self.stats.counters[S.L2_ACCESS] += 1.0
+        fwd = self.mesh.send(at_dir, home, owner, self._ctrl_flits)
         self._noc(fwd)
         # The remote L1 services the forwarded request; its port
         # serializes concurrent transfers (the ping-pong cost).
@@ -72,9 +72,9 @@ class DeNovoCoherence(CoherenceProtocol):
             remote_ready = peer.l1_port.acquire(
                 remote_ready, self.config.remote_l1_service
             )
-        resp = self.mesh.send(remote_ready, owner, self.node, self.config.data_flits())
+        resp = self.mesh.send(remote_ready, owner, self.node, self._data_flits)
         self._noc(resp)
-        self.stats.bump(S.REMOTE_L1_TRANSFER)
+        self.stats.counters[S.REMOTE_L1_TRANSFER] += 1.0
         if take_ownership:
             if peer is not None:
                 peer.l1.invalidate_line(line)
@@ -102,12 +102,12 @@ class DeNovoCoherence(CoherenceProtocol):
         home = self._word_home(word)
         bank = self.l2.banks[home]
         owner = bank.word_owner.get(word)
-        req = self.mesh.send(now, self.node, home, self.config.ctrl_flits())
+        req = self.mesh.send(now, self.node, home, self._ctrl_flits)
         self._noc(req)
         at_dir = bank.port.acquire(req.arrival, self.config.l2_bank_service)
-        self.stats.bump(S.L2_ACCESS)
+        self.stats.counters[S.L2_ACCESS] += 1.0
         if owner is not None and owner != self.node:
-            fwd = self.mesh.send(at_dir, home, owner, self.config.ctrl_flits())
+            fwd = self.mesh.send(at_dir, home, owner, self._ctrl_flits)
             self._noc(fwd)
             peer = self.peers.get(owner)
             remote_ready = fwd.arrival + self.config.remote_l1_base_latency
@@ -116,10 +116,10 @@ class DeNovoCoherence(CoherenceProtocol):
                 remote_ready = peer.l1_port.acquire(
                     remote_ready, self.config.remote_l1_service
                 )
-            resp = self.mesh.send(remote_ready, owner, self.node, self.config.ctrl_flits())
-            self.stats.bump(S.REMOTE_L1_TRANSFER)
+            resp = self.mesh.send(remote_ready, owner, self.node, self._ctrl_flits)
+            self.stats.counters[S.REMOTE_L1_TRANSFER] += 1.0
         else:
-            resp = self.mesh.send(at_dir, home, self.node, self.config.ctrl_flits())
+            resp = self.mesh.send(at_dir, home, self.node, self._ctrl_flits)
         self._noc(resp)
         bank.word_owner[word] = self.node
         self.owned_words.add(word)
@@ -136,27 +136,29 @@ class DeNovoCoherence(CoherenceProtocol):
         line, state = victim
         if state is LineState.REGISTERED:
             home = self.l2.home_node(line)
-            out = self.mesh.send(0.0, self.node, home, self.config.data_flits())
+            out = self.mesh.send(0.0, self.node, home, self._data_flits)
             self._noc(out)
             self.l2.banks[home].unregister(line, self.node)
-            self.stats.bump(S.L2_ACCESS)
-            self.stats.bump(S.DENOVO_WRITEBACKS)
+            counters = self.stats.counters
+            counters[S.L2_ACCESS] += 1.0
+            counters[S.DENOVO_WRITEBACKS] += 1.0
             if self.tracer.enabled:
                 self.tracer.emit(0.0, self.component, "writeback", line=line)
 
     # -- protocol interface ---------------------------------------------------------
     def load(self, now: float, addr: int) -> float:
         line = self.line_of(addr)
-        self.stats.bump(S.L1_ACCESS)
+        counters = self.stats.counters
+        counters[S.L1_ACCESS] += 1.0
         self.mshr.retire_ready(now)
         if self.l1.lookup(addr, now) is not LineState.INVALID:
-            self.stats.bump(S.L1_HIT)
+            counters[S.L1_HIT] += 1.0
             return self.l1_port.acquire(now, self.config.l1_hit_latency)
-        self.stats.bump(S.L1_MISS)
+        counters[S.L1_MISS] += 1.0
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
             self.mshr.coalesce(line, now)
-            self.stats.bump(S.MSHR_COALESCE)
+            counters[S.MSHR_COALESCE] += 1.0
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._fetch_line(now, line, take_ownership=False)
         if pending is None and not self.mshr.full:
@@ -168,16 +170,17 @@ class DeNovoCoherence(CoherenceProtocol):
     def store(self, now: float, addr: int) -> float:
         """Obtain line registration; the store completes when owned."""
         line = self.line_of(addr)
-        self.stats.bump(S.L1_ACCESS)
-        self.stats.bump(S.SB_WRITE)
+        counters = self.stats.counters
+        counters[S.L1_ACCESS] += 1.0
+        counters[S.SB_WRITE] += 1.0
         self.mshr.retire_ready(now)
         if self.l1.lookup(addr, now) is LineState.REGISTERED:
-            self.stats.bump(S.L1_HIT)
+            counters[S.L1_HIT] += 1.0
             return self.l1_port.acquire(now, self.config.l1_hit_latency)
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
             self.mshr.coalesce(line, now)
-            self.stats.bump(S.MSHR_COALESCE)
+            counters[S.MSHR_COALESCE] += 1.0
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._fetch_line(now, line, take_ownership=True)
         if pending is None and not self.mshr.full:
@@ -191,8 +194,9 @@ class DeNovoCoherence(CoherenceProtocol):
         (Section 2.2) — the source of its remote-transfer overhead on
         read-shared atomics (Flags, HG-NO)."""
         word = self.word_of(addr)
-        self.stats.bump(S.ATOMIC_ISSUED)
-        self.stats.bump(S.L1_ACCESS)
+        counters = self.stats.counters
+        counters[S.ATOMIC_ISSUED] += 1.0
+        counters[S.L1_ACCESS] += 1.0
         if self.tracer.enabled:
             self.tracer.emit(
                 now, self.component, "atomic",
@@ -214,16 +218,16 @@ class DeNovoCoherence(CoherenceProtocol):
                 # the entry's target capacity); the L1 port reservation
                 # made at ready_at orders it after the transfer lands.
                 in_flight.targets += 1
-                self.stats.bump(S.MSHR_COALESCE)
+                counters[S.MSHR_COALESCE] += 1.0
             else:
-                self.stats.bump(S.L1_HIT)
-            self.stats.bump(S.L1_ATOMIC)
+                counters[S.L1_HIT] += 1.0
+            counters[S.L1_ATOMIC] += 1.0
             return self.l1_port.acquire(now, self.config.l1_atomic_service)
         miss = self._word_misses.get(word)
         if miss is not None and miss.targets < self.config.mshr_targets:
             miss.targets += 1
-            self.stats.bump(S.MSHR_COALESCE)
-            self.stats.bump(S.L1_ATOMIC)
+            counters[S.MSHR_COALESCE] += 1.0
+            counters[S.L1_ATOMIC] += 1.0
             start = max(miss.ready_at, now)
             return self.l1_port.acquire(start, self.config.l1_atomic_service)
         # Either no transfer in flight or the entry's targets are full:
@@ -231,11 +235,12 @@ class DeNovoCoherence(CoherenceProtocol):
         start = max(now, miss.ready_at) if miss is not None else now
         ready = self._fetch_word(start, word)
         self._word_misses[word] = _WordMiss(ready_at=ready, targets=1)
-        self.stats.bump(S.L1_ATOMIC)
+        counters[S.L1_ATOMIC] += 1.0
         return self.l1_port.acquire(ready, self.config.l1_atomic_service)
 
     def acquire(self, now: float) -> float:
         dropped = self.l1.self_invalidate(now)  # registered data survives
-        self.stats.bump(S.L1_INVALIDATE)
-        self.stats.bump(S.L1_LINES_INVALIDATED, dropped)
+        counters = self.stats.counters
+        counters[S.L1_INVALIDATE] += 1.0
+        counters[S.L1_LINES_INVALIDATED] += float(dropped)
         return now + self.config.cache_invalidate_cycles

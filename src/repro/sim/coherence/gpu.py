@@ -19,16 +19,17 @@ class GpuCoherence(CoherenceProtocol):
 
     def load(self, now: float, addr: int) -> float:
         line = self.line_of(addr)
-        self.stats.bump(S.L1_ACCESS)
+        counters = self.stats.counters
+        counters[S.L1_ACCESS] += 1.0
         self.mshr.retire_ready(now)
         if self.l1.lookup(addr, now) is not LineState.INVALID:
-            self.stats.bump(S.L1_HIT)
+            counters[S.L1_HIT] += 1.0
             return self.l1_port.acquire(now, self.config.l1_hit_latency)
-        self.stats.bump(S.L1_MISS)
+        counters[S.L1_MISS] += 1.0
         pending = self.mshr.outstanding(line)
         if pending is not None and pending.coalesced < self.config.mshr_targets:
             self.mshr.coalesce(line, now)
-            self.stats.bump(S.MSHR_COALESCE)
+            counters[S.MSHR_COALESCE] += 1.0
             return max(pending.ready_at, now) + self.config.l1_hit_latency
         ready = self._l2_fetch(now, line)
         if pending is None and not self.mshr.full:
@@ -44,8 +45,9 @@ class GpuCoherence(CoherenceProtocol):
         # Write-through, no-allocate; keep an existing line coherent by
         # updating it in place (it stays VALID — this CU wrote the data).
         line = self.line_of(addr)
-        self.stats.bump(S.L1_ACCESS)
-        self.stats.bump(S.SB_WRITE)
+        counters = self.stats.counters
+        counters[S.L1_ACCESS] += 1.0
+        counters[S.SB_WRITE] += 1.0
         done = self._l2_writethrough(now, line)
         if self.tracer.enabled:
             self.tracer.emit(
@@ -58,8 +60,9 @@ class GpuCoherence(CoherenceProtocol):
         A plain atomic load occupies the bank like any read; an RMW holds
         it for the read-modify-write."""
         line = self.line_of(addr)
-        self.stats.bump(S.ATOMIC_ISSUED)
-        self.stats.bump(S.L2_ATOMIC)
+        counters = self.stats.counters
+        counters[S.ATOMIC_ISSUED] += 1.0
+        counters[S.L2_ATOMIC] += 1.0
         done = self._l2_fetch(now, line, atomic=is_rmw)
         if self.tracer.enabled:
             self.tracer.emit(
@@ -70,6 +73,7 @@ class GpuCoherence(CoherenceProtocol):
 
     def acquire(self, now: float) -> float:
         dropped = self.l1.invalidate_all(now)
-        self.stats.bump(S.L1_INVALIDATE)
-        self.stats.bump(S.L1_LINES_INVALIDATED, dropped)
+        counters = self.stats.counters
+        counters[S.L1_INVALIDATE] += 1.0
+        counters[S.L1_LINES_INVALIDATED] += float(dropped)
         return now + self.config.cache_invalidate_cycles

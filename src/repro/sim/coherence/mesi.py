@@ -50,7 +50,7 @@ class MesiCoherence(CoherenceProtocol):
     def _read_from_directory(self, now: float, line: int) -> float:
         """Obtain a shared copy: downgrade an M owner if there is one."""
         home = self.l2.home_node(line)
-        req = self.mesh.send(now, self.node, home, self.config.ctrl_flits())
+        req = self.mesh.send(now, self.node, home, self._ctrl_flits)
         self._noc(req)
         bank = self.l2.banks[home]
         at_dir = bank.port.acquire(req.arrival, self.config.l2_bank_service)
@@ -58,7 +58,7 @@ class MesiCoherence(CoherenceProtocol):
         owner = bank.current_owner(line)
         if owner is not None and owner != self.node:
             # Owner writes back and downgrades to S.
-            fwd = self.mesh.send(at_dir, home, owner, self.config.ctrl_flits())
+            fwd = self.mesh.send(at_dir, home, owner, self._ctrl_flits)
             self._noc(fwd)
             peer = self.peers.get(owner)
             ready = fwd.arrival + self.config.remote_l1_base_latency
@@ -68,12 +68,12 @@ class MesiCoherence(CoherenceProtocol):
             bank.register(line, None)
             self._sharers(bank, line).add(owner)
             self.stats.bump(S.REMOTE_L1_TRANSFER)
-            resp = self.mesh.send(ready, owner, self.node, self.config.data_flits())
+            resp = self.mesh.send(ready, owner, self.node, self._data_flits)
         else:
             access = bank.access(at_dir, line)
             if not access.l2_hit:
                 self.stats.bump(S.DRAM_ACCESS)
-            resp = self.mesh.send(access.done, home, self.node, self.config.data_flits())
+            resp = self.mesh.send(access.done, home, self.node, self._data_flits)
         self._noc(resp)
         self._sharers(bank, line).add(self.node)
         return resp.arrival
@@ -81,7 +81,7 @@ class MesiCoherence(CoherenceProtocol):
     def _write_from_directory(self, now: float, line: int) -> float:
         """Obtain M: invalidate every sharer / transfer from the owner."""
         home = self.l2.home_node(line)
-        req = self.mesh.send(now, self.node, home, self.config.ctrl_flits())
+        req = self.mesh.send(now, self.node, home, self._ctrl_flits)
         self._noc(req)
         bank = self.l2.banks[home]
         at_dir = bank.port.acquire(req.arrival, self.config.l2_bank_service)
@@ -90,7 +90,7 @@ class MesiCoherence(CoherenceProtocol):
         owner = bank.current_owner(line)
         sharers = self._sharers(bank, line)
         if owner is not None and owner != self.node:
-            fwd = self.mesh.send(at_dir, home, owner, self.config.ctrl_flits())
+            fwd = self.mesh.send(at_dir, home, owner, self._ctrl_flits)
             self._noc(fwd)
             peer = self.peers.get(owner)
             ready = fwd.arrival + self.config.remote_l1_base_latency
@@ -98,7 +98,7 @@ class MesiCoherence(CoherenceProtocol):
                 ready = peer.l1_port.acquire(ready, self.config.remote_l1_service)
                 peer.l1.invalidate_line(line)
             self.stats.bump(S.REMOTE_L1_TRANSFER)
-            resp = self.mesh.send(ready, owner, self.node, self.config.data_flits())
+            resp = self.mesh.send(ready, owner, self.node, self._data_flits)
             self._noc(resp)
             done = resp.arrival
         else:
@@ -107,7 +107,7 @@ class MesiCoherence(CoherenceProtocol):
             inval_done = at_dir
             for sharer in stale:
                 inval_done = bank.port.acquire(inval_done, _INVALIDATION_SERVICE)
-                msg = self.mesh.send(inval_done, home, sharer, self.config.ctrl_flits())
+                msg = self.mesh.send(inval_done, home, sharer, self._ctrl_flits)
                 self._noc(msg)
                 peer = self.peers.get(sharer)
                 if peer is not None:
@@ -117,7 +117,7 @@ class MesiCoherence(CoherenceProtocol):
             access = bank.access(done, line)
             if not access.l2_hit:
                 self.stats.bump(S.DRAM_ACCESS)
-            resp = self.mesh.send(access.done, home, self.node, self.config.data_flits())
+            resp = self.mesh.send(access.done, home, self.node, self._data_flits)
             self._noc(resp)
             done = resp.arrival
         sharers.clear()

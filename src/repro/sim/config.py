@@ -86,6 +86,15 @@ class SystemConfig:
     def data_flits(self) -> int:
         return max(1, -(-self.data_msg_bytes // self.flit_bytes))
 
+    def l2_nodes(self) -> Tuple[int, ...]:
+        """Mesh nodes hosting an L2 bank slice: the first ``l2_banks``
+        nodes, or every node when there are fewer nodes than banks.
+        Single source of truth for :class:`~repro.sim.system.System`
+        and the ahead-of-time trace compiler's routing resolution."""
+        num_nodes = self.mesh_width * self.mesh_height
+        banks = self.l2_banks if self.l2_banks <= num_nodes else num_nodes
+        return tuple(range(num_nodes))[:banks]
+
 
 #: The paper's integrated CPU-GPU system (Table 2).
 INTEGRATED = SystemConfig()

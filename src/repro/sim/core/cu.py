@@ -12,6 +12,7 @@ the standard GPU latency-tolerance mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import List, Optional
 
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -30,23 +31,41 @@ MAX_OPS_PER_WAKE = 4
 
 @dataclass
 class Warp:
-    """One warp context executing a trace."""
+    """One warp context executing a trace.
+
+    ``outstanding`` is a min-heap of completion times of the warp's
+    in-flight non-blocking accesses; ``out_max`` tracks the largest
+    completion time ever pushed.  Together they answer the three
+    questions the LSU asks — "how many are still in flight?" (heap
+    length after pruning), "when does the earliest finish?" (heap root),
+    and "when does the last finish?" (``out_max``) — in O(log n)
+    amortized instead of rebuilding a list on every call.
+    """
 
     wid: int
     trace: WarpTrace
     pc: int = 0
     outstanding: List[float] = field(default_factory=list)
+    out_max: float = 0.0
     last_atomic_done: float = 0.0
     done: bool = False
     finish_time: float = 0.0
 
+    def push_outstanding(self, completes_at: float) -> None:
+        heappush(self.outstanding, completes_at)
+        if completes_at > self.out_max:
+            self.out_max = completes_at
+
     def prune(self, now: float) -> None:
-        if self.outstanding:
-            self.outstanding = [t for t in self.outstanding if t > now]
+        out = self.outstanding
+        while out and out[0] <= now:
+            heappop(out)
 
     def pending_until(self, now: float) -> float:
-        self.prune(now)
-        return max(self.outstanding, default=now)
+        # out_max only ever grows, but if it exceeds `now` the access
+        # that set it is still in the heap (it is only popped once its
+        # completion time is <= now), so no prune is needed here.
+        return self.out_max if self.out_max > now else now
 
 
 class ComputeUnit:
@@ -213,7 +232,7 @@ class ComputeUnit:
             start = max(start, proto.release(start))  # flush (already drained)
             done = proto.atomic(start, op.addr, op.op == "rmw")
             warp.last_atomic_done = done
-            warp.outstanding.append(done)
+            warp.push_outstanding(done)
             warp.pc += 1
             return True, start  # non-blocking
 
@@ -225,17 +244,19 @@ class ComputeUnit:
             start = self.issue_port.acquire(now, self.config.issue_service)
             done = proto.atomic(start, op.addr, op.op == "rmw")
             warp.last_atomic_done = done
-            warp.outstanding.append(done)
+            warp.push_outstanding(done)
             warp.pc += 1
             return True, start
 
         if treatment == "relaxed":
-            # Fully overlapped, bounded by the MSHR file.
+            # Fully overlapped, bounded by the MSHR file.  The heap was
+            # pruned at the top of the step loop, so its length is the
+            # in-flight count and its root the earliest completion.
             if len(warp.outstanding) >= self.config.max_outstanding_per_warp:
-                return False, min(warp.outstanding)
+                return False, warp.outstanding[0]
             start = self.issue_port.acquire(now, self.config.issue_service)
             done = proto.atomic(start, op.addr, op.op == "rmw")
-            warp.outstanding.append(done)
+            warp.push_outstanding(done)
             warp.pc += 1
             return True, start
 

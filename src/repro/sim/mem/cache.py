@@ -27,7 +27,7 @@ class LineState(enum.Enum):
         return self.name
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     tag: int
     state: LineState
@@ -51,8 +51,22 @@ class L1Cache:
         self.assoc = assoc
         self.line_bytes = line_bytes
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(sets)]
+        #: Indices of sets that may hold lines, maintained once
+        #: :meth:`enable_touched_tracking` is called; flash invalidations
+        #: then visit only those sets instead of the whole tag array.
+        self._touched: Optional[set] = None
         self.tracer = tracer
         self.component = component
+
+    def enable_touched_tracking(self) -> None:
+        """Track which sets are non-empty so the flash-invalidate paths
+        (:meth:`self_invalidate` / :meth:`invalidate_all`) skip empty
+        sets.  Called by the compiled engine before any fill; the
+        dropped-line counts and resulting cache state are identical."""
+        if self._touched is None:
+            self._touched = {
+                index for index, s in enumerate(self._sets) if s
+            }
 
     def line_addr(self, addr: int) -> int:
         return addr // self.line_bytes
@@ -61,8 +75,8 @@ class L1Cache:
         return self._sets[line % self.sets]
 
     def lookup(self, addr: int, now: float = 0.0) -> LineState:
-        line = self.line_addr(addr)
-        entry = self._set_of(line).get(line)
+        line = addr // self.line_bytes
+        entry = self._sets[line % self.sets].get(line)
         if entry is None or entry.state is LineState.INVALID:
             return LineState.INVALID
         entry.last_use = now
@@ -70,8 +84,8 @@ class L1Cache:
 
     def fill(self, addr: int, state: LineState, now: float = 0.0) -> Optional[Tuple[int, LineState]]:
         """Install a line; returns the evicted (line, state) if any."""
-        line = self.line_addr(addr)
-        cache_set = self._set_of(line)
+        line = addr // self.line_bytes
+        cache_set = self._sets[line % self.sets]
         victim: Optional[Tuple[int, LineState]] = None
         existing = cache_set.get(line)
         if existing is not None:
@@ -89,6 +103,8 @@ class L1Cache:
             victim = (evicted.tag, evicted.state)
             del cache_set[evicted.tag]
         cache_set[line] = CacheLine(tag=line, state=state, last_use=now)
+        if self._touched is not None:
+            self._touched.add(line % self.sets)
         if self.tracer.enabled:
             self.tracer.emit(
                 now, self.component, "fill",
@@ -107,11 +123,25 @@ class L1Cache:
         number of lines dropped.  This is the acquire action of both
         protocols; DeNovo keeps REGISTERED lines."""
         dropped = 0
-        for cache_set in self._sets:
-            stale = [tag for tag, e in cache_set.items() if e.state is LineState.VALID]
-            for tag in stale:
-                del cache_set[tag]
-                dropped += 1
+        touched = self._touched
+        if touched is not None:
+            for index in tuple(touched):
+                cache_set = self._sets[index]
+                stale = [
+                    tag for tag, e in cache_set.items()
+                    if e.state is LineState.VALID
+                ]
+                for tag in stale:
+                    del cache_set[tag]
+                    dropped += 1
+                if not cache_set:
+                    touched.discard(index)
+        else:
+            for cache_set in self._sets:
+                stale = [tag for tag, e in cache_set.items() if e.state is LineState.VALID]
+                for tag in stale:
+                    del cache_set[tag]
+                    dropped += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 now, self.component, "self_invalidate",
@@ -122,9 +152,17 @@ class L1Cache:
     def invalidate_all(self, now: float = 0.0) -> int:
         """Drop everything (GPU coherence acquire; no registered lines exist)."""
         dropped = 0
-        for cache_set in self._sets:
-            dropped += len(cache_set)
-            cache_set.clear()
+        touched = self._touched
+        if touched is not None:
+            for index in touched:
+                cache_set = self._sets[index]
+                dropped += len(cache_set)
+                cache_set.clear()
+            touched.clear()
+        else:
+            for cache_set in self._sets:
+                dropped += len(cache_set)
+                cache_set.clear()
         if self.tracer.enabled:
             self.tracer.emit(
                 now, self.component, "invalidate_all", dropped=dropped,

@@ -17,7 +17,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import Resource
 
 
-@dataclass
+@dataclass(slots=True)
 class BankAccess:
     """Timing outcome of one request at a bank."""
 
@@ -44,22 +44,24 @@ class L2Bank:
         self.accesses = 0
         self.atomic_ops = 0
         self.dram_accesses = 0
+        #: Service times are fixed per config; resolve them once rather
+        #: than walking the config dataclass on every request.
+        self._bank_service = config.l2_bank_service
+        self._atomic_service = config.l2_atomic_service
+        self._base_latency = config.l2_base_latency
+        self._dram_service = config.dram_service
+        self._dram_latency = config.dram_latency
 
     def access(self, arrival: float, line: int, atomic: bool = False) -> BankAccess:
         """Service a request arriving at this bank at *arrival*."""
-        service = (
-            self.config.l2_atomic_service if atomic else self.config.l2_bank_service
-        )
-        done = self.port.acquire(arrival, service) + self.config.l2_base_latency
+        service = self._atomic_service if atomic else self._bank_service
+        done = self.port.acquire(arrival, service) + self._base_latency
         self.accesses += 1
         if atomic:
             self.atomic_ops += 1
         hit = line in self._present
         if not hit:
-            done = (
-                self.dram.acquire(done, self.config.dram_service)
-                + self.config.dram_latency
-            )
+            done = self.dram.acquire(done, self._dram_service) + self._dram_latency
             self._present.add(line)
             self.dram_accesses += 1
         if self.tracer.enabled:
@@ -68,6 +70,38 @@ class L2Bank:
                 line=line, atomic=atomic, hit=hit,
             )
         return BankAccess(done=done, l2_hit=hit)
+
+    def access_fast(self, arrival: float, line: int, atomic: bool = False):
+        """No-tracer fast path of :meth:`access` for the compiled engine,
+        which only runs with tracing disabled: the same arithmetic (term
+        for term, in the same order) and the same bookkeeping, returning
+        a plain ``(done, l2_hit)`` tuple without the per-request
+        :class:`BankAccess` wrapper or resource-call overhead."""
+        service = self._atomic_service if atomic else self._bank_service
+        port = self.port
+        nf = port.next_free
+        start = arrival if arrival > nf else nf
+        end = start + service
+        port.next_free = end
+        port.busy_cycles += service
+        port.requests += 1
+        done = end + self._base_latency
+        self.accesses += 1
+        if atomic:
+            self.atomic_ops += 1
+        hit = line in self._present
+        if not hit:
+            dram = self.dram
+            nf = dram.next_free
+            start = done if done > nf else nf
+            end = start + self._dram_service
+            dram.next_free = end
+            dram.busy_cycles += self._dram_service
+            dram.requests += 1
+            done = end + self._dram_latency
+            self._present.add(line)
+            self.dram_accesses += 1
+        return done, hit
 
     # -- DeNovo registry ---------------------------------------------------------
     def current_owner(self, line: int) -> Optional[int]:
@@ -93,8 +127,23 @@ class L2System:
         self.config = config
         self.banks: Dict[int, L2Bank] = {n: L2Bank(n, config, tracer) for n in nodes}
         self._nodes = list(nodes)
+        #: line -> home node, pre-resolved ahead of time for the address
+        #: footprint of a compiled kernel (see :meth:`install_home_map`).
+        self._home_map: Dict[int, int] = {}
+
+    def install_home_map(self, lines) -> None:
+        """Pre-resolve the home bank of every line in *lines*.
+
+        The hash in :meth:`home_node` is pure, so memoizing it never
+        changes routing — it just turns the per-access fold-and-modulo
+        into a dict hit.  The compiled engine installs the footprint of
+        the kernel it is about to run."""
+        self._home_map.update((line, self.home_node(line)) for line in lines)
 
     def home_node(self, line: int) -> int:
+        home = self._home_map.get(line)
+        if home is not None:
+            return home
         # XOR-folded bank hash (as in real NUCA L2s): plain modulo maps
         # power-of-two strides onto a couple of banks, serializing whole
         # access waves behind two DRAM ports.

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     line: int
     ready_at: float  # when the primary miss resolves
@@ -80,6 +80,9 @@ class MshrFile:
 
     def retire_ready(self, now: float) -> None:
         """Free every entry whose miss has resolved by *now*."""
-        done = [line for line, e in self._entries.items() if e.ready_at <= now]
+        entries = self._entries
+        if not entries:
+            return
+        done = [line for line, e in entries.items() if e.ready_at <= now]
         for line in done:
-            del self._entries[line]
+            del entries[line]

@@ -9,20 +9,49 @@ link models occupancy; per-hop latency is additive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Resource
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraversalResult:
     """Outcome of sending one message across the mesh."""
 
     arrival: float
     hops: int
     flit_hops: int  # flits x hops, the NoC energy unit
+
+
+#: (width, height, src, dst) -> (hops, ((a, b), ...) directed link pairs
+#: along the XY route).  Routing is a pure function of the mesh shape, so
+#: the geometry is shared process-wide across systems and runs; only the
+#: per-system link Resources are resolved per instance.
+_GEOMETRY: Dict[Tuple[int, int, int, int], Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+
+
+def xy_geometry(
+    width: int, height: int, src: int, dst: int
+) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+    """Hop count and directed link pairs of the XY route src -> dst."""
+    key = (width, height, src, dst)
+    geo = _GEOMETRY.get(key)
+    if geo is None:
+        sx, sy = src % width, src // width
+        dx, dy = dst % width, dst // width
+        path = [src]
+        x, y = sx, sy
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(y * width + x)
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(y * width + x)
+        geo = (abs(sx - dx) + abs(sy - dy), tuple(zip(path, path[1:])))
+        _GEOMETRY[key] = geo
+    return geo
 
 
 class Mesh:
@@ -34,10 +63,23 @@ class Mesh:
         self.height = config.mesh_height
         self.num_nodes = self.width * self.height
         self._links: Dict[Tuple[int, int], Resource] = {}
+        #: (src, dst) -> (hops, tuple of link Resources along the XY
+        #: route); populated lazily once :meth:`enable_route_cache` has
+        #: been called (the compiled engine's ahead-of-time routing).
+        self._route_cache: Optional[Dict[Tuple[int, int], Tuple[int, Tuple[Resource, ...]]]] = None
         self.flit_hops: int = 0
         self.messages: int = 0
         self.tracer = tracer
         self.component = "noc"
+
+    def enable_route_cache(self) -> None:
+        """Memoize (src, dst) -> (hops, links).  Routing is static (XY
+        dimension order over a fixed mesh), so :meth:`send` can skip the
+        per-message route walk once the pair has been resolved.  Timing,
+        link statistics and trace events are unchanged — this is a pure
+        lookup-cost optimization used by the compiled fast path."""
+        if self._route_cache is None:
+            self._route_cache = {}
 
     # -- geometry -------------------------------------------------------------
     def coords(self, node: int) -> Tuple[int, int]:
@@ -91,16 +133,30 @@ class Mesh:
         """
         if src == dst:
             return TraversalResult(arrival=now, hops=0, flit_hops=0)
-        hops = self.distance(src, dst)
-        t = (
-            now
-            + hops * self.config.noc_hop_latency
-            + flits * self.config.link_flit_service
-        )
-        for a, b in zip(self.route(src, dst), self.route(src, dst)[1:]):
-            link = self._link(a, b)
-            link.requests += 1
-            link.busy_cycles += flits * self.config.link_flit_service
+        cache = self._route_cache
+        if cache is not None:
+            cached = cache.get((src, dst))
+            if cached is None:
+                hops, pairs = xy_geometry(self.width, self.height, src, dst)
+                cached = (hops, tuple(self._link(a, b) for a, b in pairs))
+                cache[(src, dst)] = cached
+            hops, links = cached
+            occupancy = flits * self.config.link_flit_service
+            t = now + hops * self.config.noc_hop_latency + occupancy
+            for link in links:
+                link.requests += 1
+                link.busy_cycles += occupancy
+        else:
+            hops = self.distance(src, dst)
+            t = (
+                now
+                + hops * self.config.noc_hop_latency
+                + flits * self.config.link_flit_service
+            )
+            for a, b in zip(self.route(src, dst), self.route(src, dst)[1:]):
+                link = self._link(a, b)
+                link.requests += 1
+                link.busy_cycles += flits * self.config.link_flit_service
         self.flit_hops += flits * hops
         self.messages += 1
         if self.tracer.enabled:

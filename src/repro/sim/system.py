@@ -22,6 +22,13 @@ from repro.sim.trace import Kernel, Phase
 #: grid-wide join), identical across configurations.
 GLOBAL_BARRIER_CYCLES = 200.0
 
+#: Execution engines: "auto" picks the compiled fast path unless a live
+#: tracer is attached (the fast path carries no instrumentation);
+#: "compiled" / "reference" force the choice.  Both produce identical
+#: results — the reference interpreter is the oracle the compiled engine
+#: is tested against.
+ENGINES = ("auto", "compiled", "reference")
+
 CONFIG_ABBREV = {
     ("gpu", "drf0"): "GD0",
     ("gpu", "drf1"): "GD1",
@@ -67,9 +74,7 @@ class System:
         self.stats = SimStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.mesh = Mesh(config, self.tracer)
-        all_nodes = list(range(self.mesh.num_nodes))
-        l2_nodes = all_nodes[: config.l2_banks] if config.l2_banks <= len(all_nodes) else all_nodes
-        self.l2 = L2System(config, l2_nodes, self.tracer)
+        self.l2 = L2System(config, list(config.l2_nodes()), self.tracer)
         peers: Dict[int, object] = {}
         protocol_cls = PROTOCOLS[protocol]
         self.cus: List[ComputeUnit] = []
@@ -87,7 +92,29 @@ class System:
             )
 
     # ------------------------------------------------------------------ running
-    def run(self, kernel: Kernel) -> RunResult:
+    def run(self, kernel: Kernel, engine: str = "auto", compiled=None) -> RunResult:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine == "auto":
+            engine = "reference" if self.tracer.enabled else "compiled"
+        elif engine == "compiled" and self.tracer.enabled:
+            # Live tracing keeps the instrumented interpreter: the
+            # compiled stepper has no per-event emission points.
+            engine = "reference"
+        if engine == "compiled":
+            from repro.sim.compile import compile_kernel, run_compiled
+
+            if compiled is None:
+                compiled = compile_kernel(kernel, self.config)
+            cycles, phase_cycles = run_compiled(self, kernel, compiled)
+            return RunResult(
+                workload=kernel.name,
+                protocol=self.protocol_name,
+                model=self.model.name,
+                cycles=cycles,
+                stats=self.stats,
+                phase_cycles=phase_cycles,
+            )
         phase_times: List[float] = []
         clock = 0.0
         kernel_scope = self.tracer.scope(
@@ -163,11 +190,18 @@ def run_workload(
     model: str,
     config: SystemConfig = INTEGRATED,
     tracer: Optional[Tracer] = None,
+    engine: str = "auto",
+    compiled=None,
 ) -> RunResult:
     """Build a fresh system and run *kernel* on it.  Pass a
     :class:`~repro.obs.tracer.Tracer` to record per-event traces; the
-    default is the no-op tracer."""
-    return System(protocol, model, config, tracer=tracer).run(kernel)
+    default is the no-op tracer.  *engine* selects the execution engine
+    (see :data:`ENGINES`); *compiled* optionally supplies a
+    pre-:func:`~repro.sim.compile.compile_kernel`-ed form of *kernel* to
+    reuse across runs."""
+    return System(protocol, model, config, tracer=tracer).run(
+        kernel, engine=engine, compiled=compiled
+    )
 
 
 def all_configurations() -> Tuple[Tuple[str, str], ...]:

@@ -76,6 +76,18 @@ class Kernel:
     def total_ops(self) -> int:
         return sum(p.total_ops() for p in self.phases)
 
+    def global_addresses(self):
+        """Every distinct global-space address the kernel touches (the
+        footprint the trace compiler pre-resolves L2 routing for)."""
+        seen = set()
+        for phase in self.phases:
+            for traces in phase.warps_per_cu.values():
+                for trace in traces:
+                    for op in trace:
+                        if isinstance(op, MemAccess) and op.space == "global":
+                            seen.add(op.addr)
+        return seen
+
 
 # -- convenience builders --------------------------------------------------------
 

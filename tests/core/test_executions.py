@@ -100,12 +100,19 @@ class TestInterleavings:
         enum = enumerate_sc_executions(p, naive=True)
         assert len(enum.executions) == 1  # same events/rf/co either way
         assert enum.interleavings == 2
-        # The default engine's partial-order reduction explores only the
-        # canonical one of the two equivalent orderings.
-        por = enumerate_sc_executions(p)
+        # Forcing the reduction machinery (any explicit ``memo``) makes
+        # partial-order reduction explore only the canonical one of the
+        # two equivalent orderings.
+        por = enumerate_sc_executions(p, memo=False)
         assert len(por.executions) == 1
         assert por.interleavings == 1
         assert por.stats.por_pruned == 1
+        # At 2 static steps the program sits under the small-program
+        # threshold, so the default engine takes the cheap naive path.
+        default = enumerate_sc_executions(p)
+        assert len(default.executions) == 1
+        assert default.interleavings == 2
+        assert default.stats.por_pruned == 0
 
     def test_conflicting_writers_two_coherence_orders(self):
         p = Program("p", [[store("x", 1)], [store("x", 2)]])
@@ -250,3 +257,83 @@ def test_rmw_pairs_adjacent_in_t(program):
         for r, w in ex.rmw:
             pos = {eid: i for i, eid in enumerate(ex.order)}
             assert pos[w.eid] == pos[r.eid] + 1
+
+
+class TestSmallProgramGate:
+    """Tiny programs skip the POR/memo machinery by default: the static
+    step bound routes them to the cheap naive path (the reduction's
+    bookkeeping costs more than it saves below a handful of steps)."""
+
+    def test_static_step_bound_straight_line(self):
+        from repro.core.executions import static_step_bound
+
+        p = Program("p", [[store("x", 1), load("r", "x")], [store("y", 1)]])
+        assert static_step_bound(p) == 3
+
+    def test_static_step_bound_if_takes_max_branch(self):
+        from repro.core.executions import static_step_bound
+
+        p = Program(
+            "p",
+            [[
+                load("r", "x"),
+                If(Reg("r"), [store("a", 1)], [store("b", 1), store("c", 1)]),
+            ]],
+        )
+        assert static_step_bound(p) == 3  # 1 load + max(1, 2)
+
+    def test_static_step_bound_while_multiplies_by_max_iters(self):
+        from repro.core.executions import static_step_bound
+
+        p = Program(
+            "p",
+            [[While(Const(1), [store("x", 1), load("r", "x")], max_iters=3)]],
+        )
+        assert static_step_bound(p) == 6
+
+    def test_small_default_is_naive_large_default_reduces(self):
+        from repro.core.executions import SMALL_PROGRAM_STEPS, static_step_bound
+
+        small = Program("mp", [
+            [store("data", 1), store("flag", 1)],
+            [load("r0", "flag"), load("r1", "data")],
+        ])
+        assert static_step_bound(small) <= SMALL_PROGRAM_STEPS
+        enum = enumerate_sc_executions(small)
+        assert enum.stats.por_pruned == 0 and enum.stats.memo_hits == 0
+
+        large = Program("mp3", [
+            [store("data", 1), store("flag", 1)],
+            [load("r0", "flag"), load("r1", "data")],
+            [store("z0", 1), store("z1", 1)],
+        ])
+        assert static_step_bound(large) > SMALL_PROGRAM_STEPS
+        enum = enumerate_sc_executions(large)
+        assert enum.stats.por_pruned > 0
+
+    def test_explicit_memo_overrides_the_gate(self):
+        p = Program("p", [[store("x", 1)], [store("y", 1)]])
+        enum = enumerate_sc_executions(p, memo=False)
+        assert enum.stats.por_pruned == 1  # reduction ran despite 2 steps
+
+    def test_gated_path_agrees_with_reduction(self):
+        programs = [
+            Program("mp", [
+                [store("data", 1), store("flag", 1)],
+                [load("r0", "flag"), load("r1", "data")],
+            ]),
+            Program("sb", [
+                [store("x", 1), load("r0", "y")],
+                [store("y", 1), load("r1", "x")],
+            ]),
+            Program("rmw2", [
+                [rmw("r0", "x", "add", 1)], [rmw("r1", "x", "add", 1)],
+            ]),
+        ]
+        for p in programs:
+            default = enumerate_sc_executions(p)
+            reduced = enumerate_sc_executions(p, memo=True)
+            assert (
+                {e.canonical_key() for e in default.executions}
+                == {e.canonical_key() for e in reduced.executions}
+            ), p.name

@@ -14,7 +14,7 @@ as a counterexample program.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.labels import AtomicKind
+from repro.core.labels import RELAXED_KINDS, AtomicKind
 from repro.core.model import check
 from repro.core.system_model import run_system_model
 from repro.litmus.ast import load, rmw, store
@@ -74,9 +74,16 @@ def test_theorem_3_1_on_random_programs(program):
         f"  threads={program.threads}\n"
         f"  non-SC results={sorted(report.non_sc_results)[:3]}"
     )
-    # Without speculative atomics, even the register-inclusive view
+    # Without relaxed-class atomics, even the register-inclusive view
     # must stay SC (any register could have been stored to memory).
-    if AtomicKind.SPECULATIVE not in program.kinds_used():
+    # Every relaxed class can deviate in registers alone: a speculative
+    # load may return a racy never-observed value, a delayed non-ordering
+    # store may feed stale values to later paired loads, and a reordered
+    # commutative RMW may return an intermediate count — all with the
+    # final memory state (the paper's Section 3.2.2 result, asserted
+    # above) still SC.  That register slack is exactly what the paper's
+    # result redefinition exists to permit.
+    if RELAXED_KINDS.isdisjoint(program.kinds_used()):
         assert report.only_sc, (
             f"non-SC registers without speculative atomics:\n"
             f"  threads={program.threads}\n"

@@ -56,7 +56,7 @@ def test_bench_harness_emits_valid_json(tmp_path):
     with open(path) as handle:
         record = json.load(handle)
     assert set(record) == {
-        "date", "host", "enumeration", "sweep", "tracing", "cache",
+        "date", "host", "enumeration", "sweep", "simgen", "tracing", "cache",
     }
     assert record["host"]["cpu_count"] >= 1
     enum = record["enumeration"]
@@ -65,6 +65,9 @@ def test_bench_harness_emits_valid_json(tmp_path):
     sweep = record["sweep"]
     assert sweep["csv_identical"] is True
     assert sweep["simulations"] == 6  # one workload x six configurations
+    simgen = record["simgen"]
+    assert simgen["csv_identical"] is True
+    assert simgen["wall_s_reference"] > 0 and simgen["wall_s_compiled"] > 0
     tracing = record["tracing"]
     assert tracing["events"] > 0
     assert tracing["wall_s_untraced"] > 0
@@ -84,5 +87,5 @@ def test_bench_cli_quick(tmp_path, capsys):
     captured = capsys.readouterr()
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
-    assert "cache:" in out
+    assert "cache:" in out and "simgen:" in out
     assert "deprecated" in captured.err

@@ -88,3 +88,48 @@ class TestAccounting:
         res_d = run_workload(one_warp_kernel(list(trace)), "gpu", "drf0", DISCRETE)
         res_i = run_workload(one_warp_kernel(list(trace)), "gpu", "drf0", INTEGRATED)
         assert res_d.cycles > res_i.cycles
+
+
+class TestWarpOutstandingHeap:
+    """The warp's in-flight completion-time bookkeeping is a min-heap
+    plus a running max — it must answer the LSU's three questions
+    (in-flight count, earliest completion, latest completion) exactly,
+    including after out-of-order pushes and partial prunes."""
+
+    def test_prune_pops_only_completed(self):
+        from repro.sim.core.cu import Warp
+
+        w = Warp(wid=0, trace=[])
+        for t in (50.0, 10.0, 30.0, 20.0, 40.0):  # deliberately unsorted
+            w.push_outstanding(t)
+        assert w.outstanding[0] == 10.0  # heap root = earliest completion
+        assert w.out_max == 50.0
+        w.prune(25.0)
+        assert sorted(w.outstanding) == [30.0, 40.0, 50.0]
+        assert w.outstanding[0] == 30.0
+        assert w.out_max == 50.0  # max is monotone, never pruned down
+
+    def test_pending_until_tracks_latest_completion(self):
+        from repro.sim.core.cu import Warp
+
+        w = Warp(wid=0, trace=[])
+        assert w.pending_until(5.0) == 5.0  # nothing in flight
+        w.push_outstanding(12.0)
+        w.push_outstanding(8.0)
+        assert w.pending_until(5.0) == 12.0
+        w.prune(20.0)
+        assert not w.outstanding
+        assert w.pending_until(20.0) == 20.0  # past the max: now wins
+
+    def test_relaxed_cap_stalls_on_earliest_completion(self):
+        """With the MSHR-per-warp cap at 1, each relaxed atomic must wait
+        for the previous one's completion — the heap root, not its max."""
+        capped = dataclasses.replace(INTEGRATED, max_outstanding_per_warp=1)
+        trace = [rmw(0x1000 + i * 256, COMM) for i in range(6)]
+        res_capped = run_workload(
+            one_warp_kernel(list(trace)), "gpu", "drfrlx", capped
+        )
+        res_free = run_workload(
+            one_warp_kernel(list(trace)), "gpu", "drfrlx", INTEGRATED
+        )
+        assert res_capped.cycles > res_free.cycles
