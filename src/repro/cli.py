@@ -70,6 +70,14 @@ def _shared_flags() -> argparse.ArgumentParser:
              "interpreter; 'auto' (default) compiles unless tracing. "
              "Both produce identical results",
     )
+    shared.add_argument(
+        "--relation-backend", choices=("auto", "dense", "pairs"),
+        default=None, metavar="B",
+        help="relation representation for the model checkers: 'dense' "
+             "bitsets, 'pairs' frozensets (the oracle), 'auto' (default) "
+             "picks dense for litmus-sized universes; also settable via "
+             "REPRO_RELATION_BACKEND. Verdicts are identical either way",
+    )
     return shared
 
 
@@ -131,7 +139,11 @@ def cmd_audit(args: argparse.Namespace) -> int:
     from repro.perf.audit import audit_corpus
 
     failures = 0
-    for result in audit_corpus(jobs=args.jobs, cache=_cli_cache(args, default=True)):
+    for result in audit_corpus(
+        jobs=args.jobs,
+        cache=_cli_cache(args, default=True),
+        backend=args.relation_backend,
+    ):
         status = "ok" if result.ok else "FAIL"
         if not result.ok:
             failures += 1
@@ -213,9 +225,13 @@ def cmd_litmus(args: argparse.Namespace) -> int:
         return 0
     test = get_litmus(args.name)
     if args.model:
-        results = {args.model: check(test.program, args.model)}
+        results = {
+            args.model: check(
+                test.program, args.model, backend=args.relation_backend
+            )
+        }
     else:
-        results = check_all_models(test.program)
+        results = check_all_models(test.program, backend=args.relation_backend)
     mismatches = 0
     for model, result in results.items():
         expected = test.expected_legal.get(model)

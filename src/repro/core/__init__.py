@@ -18,15 +18,22 @@ from repro.core.hrf import HrfCheckResult, check_hrf
 from repro.core.pretty import explain, format_execution
 from repro.core.herd_model import HerdModel
 from repro.core.labels import AtomicKind, effective_kind, is_atomic, is_relaxed
-from repro.core.model import CheckResult, check, check_all_models
+from repro.core.model import CheckResult, check, check_all_models, classify_enumeration
 from repro.core.quantum import default_domain, quantum_equivalent
-from repro.core.races import Race, RaceAnalysis, writes_commute
-from repro.core.relations import Relation
+from repro.core.races import Race, RaceAnalysis, race_signature, writes_commute
+from repro.core.relations import (
+    DenseRelation,
+    EventIndex,
+    Relation,
+    resolve_backend,
+)
 from repro.core.system_model import SystemModelReport, run_system_model
 
 __all__ = [
     "AtomicKind",
     "CheckResult",
+    "DenseRelation",
+    "EventIndex",
     "HerdModel",
     "Race",
     "RaceAnalysis",
@@ -36,6 +43,7 @@ __all__ = [
     "check",
     "check_all_models",
     "check_hrf",
+    "classify_enumeration",
     "explain",
     "format_execution",
     "listing7_cat",
@@ -45,6 +53,8 @@ __all__ = [
     "is_atomic",
     "is_relaxed",
     "quantum_equivalent",
+    "race_signature",
+    "resolve_backend",
     "run_system_model",
     "writes_commute",
 ]

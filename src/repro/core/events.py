@@ -11,11 +11,16 @@ Terminology follows Section 2.3.1 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from repro.core.util import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.labels import AtomicKind, is_atomic
-from repro.core.relations import Relation
+from repro.core.relations import (
+    DenseRelation,
+    EventIndex,
+    Relation,
+    resolve_backend,
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,19 @@ class Event:
             self.__dict__["_key"] = cached
         return cached
 
+    def __hash__(self) -> int:
+        """Memoized (events key sets/dicts throughout the enumerator and
+        the relational kernel; the dataclass-generated hash re-hashes
+        every field — including the enum label — on each call)."""
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.eid, self.tid, self.kind, self.loc, self.value,
+                self.label.name, self.po_index, self.is_init,
+            ))
+            self.__dict__["_hash"] = cached
+        return cached
+
     def __repr__(self) -> str:
         tag = "init" if self.is_init else f"t{self.tid}.{self.po_index}"
         return f"<{tag} {self.kind}{self.label.name[0].lower()} {self.loc}={self.value}>"
@@ -98,7 +116,11 @@ class Execution:
         final_memory: Mapping[str, int],
         final_registers: Sequence[Mapping[str, int]],
         rmw_info: Optional[Mapping[int, RmwInfo]] = None,
+        backend: Optional[str] = None,
     ):
+        #: Relation backend ("dense" | "pairs" | None for auto); see
+        #: :func:`repro.core.relations.resolve_backend`.
+        self._backend = backend
         self.events: Tuple[Event, ...] = tuple(events)
         self.by_eid: Dict[int, Event] = {e.eid: e for e in self.events}
         #: eids in SC total order T (initial writes first).
@@ -113,6 +135,46 @@ class Execution:
         )
         #: write-event eid -> RMW semantics, for the commutativity check.
         self.rmw_info: Dict[int, RmwInfo] = dict(rmw_info or {})
+
+    # -- relation backend ------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The resolved relation backend of this execution's relations."""
+        return resolve_backend(
+            getattr(self, "_backend", None), len(self.events)
+        )
+
+    @cached_property
+    def dense_index(self) -> EventIndex:
+        """Interned dense ids for this execution's events (T order)."""
+        return EventIndex(self.by_eid[eid] for eid in self.order)
+
+    def relation(self, pairs: Iterable[Tuple[Event, Event]] = ()):
+        """Build a relation over this execution's events in the resolved
+        backend — the factory every derived relation goes through."""
+        if self.backend == "dense":
+            return self.dense_index.relation(pairs)
+        return Relation(pairs)
+
+    #: Lazily computed attributes invalidated by a backend switch.
+    #: (``observed_reads`` and ``dense_index`` are absent on purpose:
+    #: their values are backend-independent, so they survive switches.)
+    _RELATION_CACHES = (
+        "po", "rf", "co", "fr", "rmw", "com",
+        "addr", "data", "ctrl", "deps",
+        "conflict", "conflict_order",
+    )
+
+    def set_backend(self, backend: Optional[str]) -> None:
+        """Select the relation backend, dropping any relations already
+        materialized (they may belong to the other backend).  A no-op
+        when the backend is unchanged, so repeated selection keeps the
+        relation caches warm."""
+        if backend == self._backend:
+            return
+        self._backend = backend
+        for name in self._RELATION_CACHES:
+            self.__dict__.pop(name, None)
 
     # -- event sets ----------------------------------------------------------
     @cached_property
@@ -136,6 +198,30 @@ class Execution:
     def writes(self) -> FrozenSet[Event]:
         return frozenset(e for e in self.program_events if e.is_write)
 
+    @cached_property
+    def _so1_eid_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Synchronization-order edges as eid pairs (see
+        :attr:`repro.core.races.RaceAnalysis.so1`).  Backend-independent,
+        so it survives backend switches and is computed once per
+        execution."""
+        from repro.core.labels import SYNC_READ_KINDS, SYNC_WRITE_KINDS
+
+        pos = self._order_pos
+        sync_w = [
+            e for e in self.program_events
+            if e.kind == "W" and e.label in SYNC_WRITE_KINDS
+        ]
+        sync_r = [
+            e for e in self.program_events
+            if e.kind == "R" and e.label in SYNC_READ_KINDS
+        ]
+        return tuple(
+            (w.eid, r.eid)
+            for w in sync_w
+            for r in sync_r
+            if w.loc == r.loc and pos[w.eid] < pos[r.eid]
+        )
+
     # -- T helpers -----------------------------------------------------------
     def t_before(self, a: Event, b: Event) -> bool:
         """True when *a* precedes *b* in the SC total order T."""
@@ -144,26 +230,60 @@ class Execution:
     def in_t_order(self) -> Tuple[Event, ...]:
         return tuple(self.by_eid[eid] for eid in self.order)
 
+    @cached_property
+    def _po_threads(self) -> Tuple[Tuple[Event, ...], ...]:
+        """Program events grouped per thread, in program-text order.
+        Backend-independent, so both ``po`` backends share it."""
+        by_thread: Dict[int, List[Event]] = {}
+        for e in self.program_events:
+            by_thread.setdefault(e.tid, []).append(e)
+        for evs in by_thread.values():
+            evs.sort(key=lambda e: e.po_index)
+        return tuple(tuple(evs) for evs in by_thread.values())
+
     # -- base relations --------------------------------------------------------
     @cached_property
     def po(self) -> Relation:
         """Program order: same thread, program-text order (transitive)."""
-        by_thread: Dict[int, List[Event]] = {}
-        for e in self.program_events:
-            by_thread.setdefault(e.tid, []).append(e)
+        threads = self._po_threads
+        if self.backend == "dense":
+            # Build the successor rows directly: an event's row is the
+            # mask of its thread's later events (dense ids are positions
+            # in T, so no per-pair Event hashing).
+            pos = self._order_pos
+            rows = [0] * len(self.order)
+            for evs in threads:
+                mask_later = 0
+                for e in reversed(evs):
+                    i = pos[e.eid]
+                    rows[i] |= mask_later
+                    mask_later |= 1 << i
+            return DenseRelation(self.dense_index, rows)
         pairs = []
-        for evs in by_thread.values():
-            evs.sort(key=lambda e: e.po_index)
+        for evs in threads:
             for i, a in enumerate(evs):
                 for b in evs[i + 1:]:
                     pairs.append((a, b))
         return Relation(pairs)
 
+    def _relation_from_eid_pairs(self, eid_pairs) -> Relation:
+        """Relation from (eid, eid) pairs; dense rows are written directly
+        from T positions, skipping per-pair Event hashing."""
+        if self.backend == "dense":
+            pos = self._order_pos
+            rows = [0] * len(self.order)
+            for a, b in eid_pairs:
+                rows[pos[a]] |= 1 << pos[b]
+            return DenseRelation(self.dense_index, rows)
+        return Relation(
+            (self.by_eid[a], self.by_eid[b]) for a, b in eid_pairs
+        )
+
     @cached_property
     def rf(self) -> Relation:
         """Reads-from: (store, load) pairs, including from initial writes."""
-        return Relation(
-            (self.by_eid[w], self.by_eid[r]) for r, w in self._rf_map.items()
+        return self._relation_from_eid_pairs(
+            (w, r) for r, w in self._rf_map.items()
         )
 
     @cached_property
@@ -175,6 +295,16 @@ class Execution:
             e = self.by_eid[eid]
             if e.is_write:
                 per_loc.setdefault(e.loc, []).append(e)
+        if self.backend == "dense":
+            pos = self._order_pos
+            rows = [0] * len(self.order)
+            for writes in per_loc.values():
+                mask_later = 0
+                for e in reversed(writes):
+                    i = pos[e.eid]
+                    rows[i] |= mask_later
+                    mask_later |= 1 << i
+            return DenseRelation(self.dense_index, rows)
         pairs = []
         for writes in per_loc.values():
             for i, a in enumerate(writes):
@@ -190,9 +320,7 @@ class Execution:
 
     @cached_property
     def rmw(self) -> Relation:
-        return Relation(
-            (self.by_eid[r], self.by_eid[w]) for r, w in self._rmw_pairs
-        )
+        return self._relation_from_eid_pairs(self._rmw_pairs)
 
     @cached_property
     def com(self) -> Relation:
@@ -201,10 +329,11 @@ class Execution:
 
     # -- dependency relations ---------------------------------------------------
     def _dep_relation(self, name: str) -> Relation:
-        return Relation(
-            (self.by_eid[a], self.by_eid[b])
+        by_eid = self.by_eid
+        return self._relation_from_eid_pairs(
+            (a, b)
             for a, b in self._dep_edges.get(name, ())
-            if a in self.by_eid and b in self.by_eid
+            if a in by_eid and b in by_eid
         )
 
     @cached_property
@@ -227,8 +356,19 @@ class Execution:
     @cached_property
     def observed_reads(self) -> FrozenSet[Event]:
         """Reads whose returned value is used by another instruction
-        (directly or transitively feeds an address, store value or branch)."""
-        return frozenset(e for e in self.reads if self.deps.successors(e))
+        (directly or transitively feeds an address, store value or branch).
+
+        Computed straight from the dependency edges — equivalent to
+        ``deps.successors(e)`` being non-empty, without materializing the
+        addr/data/ctrl relations (and therefore backend-independent)."""
+        by_eid = self.by_eid
+        sources = {
+            a
+            for edges in self._dep_edges.values()
+            for a, b in edges
+            if a in by_eid and b in by_eid
+        }
+        return frozenset(e for e in self.reads if e.eid in sources)
 
     # -- conflict order (paper Section 3.3.3) -------------------------------------
     @cached_property
@@ -240,7 +380,7 @@ class Execution:
             for b in evs:
                 if a is not b and a.conflicts_with(b):
                     pairs.append((a, b))
-        return Relation(pairs)
+        return self.relation(pairs)
 
     @cached_property
     def conflict_order(self) -> Relation:

@@ -1006,6 +1006,7 @@ def enumerate_sc_executions(
     memo: Optional[bool] = None,
     tracer: Optional[Tracer] = None,
     cache=None,
+    backend: Optional[str] = None,
 ) -> SCEnumeration:
     """Enumerate every SC execution of *program* (deduplicated).
 
@@ -1030,6 +1031,9 @@ def enumerate_sc_executions(
     result cache keyed on the program text, the enumeration arguments
     and a fingerprint of the ``repro.core``/``repro.litmus`` sources.
     Tracing bypasses the cache (a cached result has no events to emit).
+    ``backend`` stamps the relation backend on every returned execution
+    (see :mod:`repro.core.relations`); it does not affect the execution
+    set or the cache key, and is applied to cached results as well.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
 
@@ -1051,6 +1055,9 @@ def enumerate_sc_executions(
             )
             found, value = store.get(key, codec="pickle")
             if found and isinstance(value, SCEnumeration):
+                if backend is not None:
+                    for ex in value.executions:
+                        ex.set_backend(backend)
                 return value
 
     if naive:
@@ -1067,4 +1074,7 @@ def enumerate_sc_executions(
         )
     if store is not None:
         store.put(key, result, codec="pickle")
+    if backend is not None:
+        for ex in result.executions:
+            ex.set_backend(backend)
     return result

@@ -18,20 +18,29 @@ definition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from repro.core.util import cached_property
 from typing import Dict, FrozenSet
+
+from typing import Optional
 
 from repro.core.events import Event, Execution
 from repro.core.labels import AtomicKind
 from repro.core.races import writes_commute
 from repro.core.paths import OperationGraph
-from repro.core.relations import Relation, at_least_one, product
+from repro.core.relations import EventIndex, Relation, at_least_one, product
 
 
 class HerdModel:
-    """Evaluates Listing 7's relations for one SC execution."""
+    """Evaluates Listing 7's relations for one SC execution.
 
-    def __init__(self, execution: Execution):
+    ``backend`` selects the relation representation for every derived
+    relation (see :mod:`repro.core.relations`); by default the
+    execution's own (auto-resolved) backend is used.
+    """
+
+    def __init__(self, execution: Execution, backend: Optional[str] = None):
+        if backend is not None:
+            execution.set_backend(backend)
         self.ex = execution
         events = execution.program_events
         self.universe: FrozenSet[Event] = frozenset(events)
@@ -44,6 +53,11 @@ class HerdModel:
 
     def label_set(self, kind: AtomicKind) -> FrozenSet[Event]:
         return self._by_label[kind]
+
+    @property
+    def _index(self) -> Optional[EventIndex]:
+        """The execution's event index when relations evaluate densely."""
+        return self.ex.dense_index if self.ex.backend == "dense" else None
 
     # --- base relations (program events only; IW excluded as in the listing) ---
     @cached_property
@@ -79,7 +93,7 @@ class HerdModel:
             e for e in self.R if e.label in SYNC_READ_KINDS
         )
         com_plus = (self.rf | self.fr | self.co).transitive_closure()
-        return com_plus & product(sync_w, sync_r)
+        return com_plus & product(sync_w, sync_r, index=self._index)
 
     @cached_property
     def hb1(self) -> Relation:
@@ -89,7 +103,7 @@ class HerdModel:
     @cached_property
     def conflict(self) -> Relation:
         """``conflict = at-least-one W & loc``"""
-        alo_w = at_least_one(self.W, self.universe)
+        alo_w = at_least_one(self.W, self.universe, index=self._index)
         return alo_w.filter(lambda a, b: a.loc == b.loc and a is not b)
 
     @cached_property
@@ -132,11 +146,13 @@ class HerdModel:
                     for ea in op_a.events:
                         for eb in op_b.events:
                             pairs.append((ea, eb))
-        return Relation(pairs)
+        return self.ex.relation(pairs)
 
     @cached_property
     def comm_race(self) -> Relation:
-        alo_comm = at_least_one(self.label_set(AtomicKind.COMMUTATIVE), self.universe)
+        alo_comm = at_least_one(
+            self.label_set(AtomicKind.COMMUTATIVE), self.universe, index=self._index
+        )
         racy_comm = self.race & alo_comm
         comm_race1 = racy_comm - self.comm_pair
         # ``(race & aloComm) ; (addr | data | ctrl)`` flags races whose
@@ -164,7 +180,9 @@ class HerdModel:
 
     @cached_property
     def opath_alo_no(self) -> Relation:
-        alo_no = at_least_one(self.label_set(AtomicKind.NON_ORDERING), self.universe)
+        alo_no = at_least_one(
+            self.label_set(AtomicKind.NON_ORDERING), self.universe, index=self._index
+        )
         core = self.pco_po & alo_no
         pco_po_alo_no = core | core.compose(self.pco) | self.pco.compose(core)
         return pco_po_alo_no & self.conflict
@@ -208,21 +226,23 @@ class HerdModel:
     # --- remaining race classes ---
     @cached_property
     def data_race(self) -> Relation:
-        alo_data = at_least_one(self.label_set(AtomicKind.DATA), self.universe)
+        alo_data = at_least_one(
+            self.label_set(AtomicKind.DATA), self.universe, index=self._index
+        )
         return self.race & alo_data
 
     @cached_property
     def quantum_race(self) -> Relation:
         quantum = self.label_set(AtomicKind.QUANTUM)
-        alo_q = at_least_one(quantum, self.universe)
-        return (self.race & alo_q) - product(quantum, quantum)
+        alo_q = at_least_one(quantum, self.universe, index=self._index)
+        return (self.race & alo_q) - product(quantum, quantum, index=self._index)
 
     @cached_property
     def speculative_race(self) -> Relation:
         spec = self.label_set(AtomicKind.SPECULATIVE)
-        alo_s = at_least_one(spec, self.universe)
+        alo_s = at_least_one(spec, self.universe, index=self._index)
         racy_spec = self.race & alo_s
-        spec1 = racy_spec & product(self.W, self.W)
+        spec1 = racy_spec & product(self.W, self.W, index=self._index)
         observable = self.deps.domain()
         spec2 = racy_spec.filter(lambda a, b: a in observable or b in observable)
         return spec1 | spec2

@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.executions import enumerate_sc_executions
 from repro.core.labels import AtomicKind
 from repro.core.paths import Operation, OperationGraph
+from repro.core.races import eid_pair_view
 from repro.core.relations import Relation
 from repro.litmus.program import Program
 
@@ -93,19 +94,22 @@ def _scoped_hb(execution, groups: Sequence[int]) -> Relation:
                 pairs.append((w, r))
             elif groups[w.tid] == groups[r.tid]:
                 pairs.append((w, r))
-    return (execution.po | Relation(pairs)).transitive_closure()
+    return (execution.po | execution.relation(pairs)).transitive_closure()
 
 
 def check_hrf(
     program: Program,
     groups: Optional[Sequence[int]] = None,
     max_witnesses: int = 32,
+    backend: Optional[str] = None,
 ) -> HrfCheckResult:
     """Check *program* against the HRF0-style scoped model.
 
     ``groups[tid]`` assigns each thread to a work-group; the default puts
     every thread in its own group (the most conservative reading, where
-    local scope synchronizes nothing across threads).
+    local scope synchronizes nothing across threads).  ``backend``
+    selects the relation backend the scoped happens-before is computed
+    on (see :mod:`repro.core.relations`).
     """
     if groups is None:
         groups = tuple(range(program.num_threads))
@@ -115,11 +119,11 @@ def check_hrf(
             f"groups has {len(groups)} entries for {program.num_threads} threads"
         )
 
-    enumeration = enumerate_sc_executions(program)
+    enumeration = enumerate_sc_executions(program, backend=backend)
     witnesses = []
     for execution in enumeration.executions:
         hb = _scoped_hb(execution, groups)
-        hb_pairs = frozenset((a.eid, b.eid) for a, b in hb)
+        hb_pairs = eid_pair_view(execution, hb)
         graph = OperationGraph(execution)
         ops = graph.operations
         for i, a in enumerate(ops):

@@ -22,12 +22,12 @@ DRFrlx    all six classes honored                  data, commutative,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.executions import SCEnumeration, enumerate_sc_executions
 from repro.core.labels import ATOMIC_KINDS, AtomicKind
 from repro.core.quantum import quantum_equivalent
-from repro.core.races import Race, RaceAnalysis
+from repro.core.races import Race, RaceAnalysis, race_signature
 from repro.litmus.program import Program
 
 MODELS = ("drf0", "drf1", "drfrlx")
@@ -66,6 +66,11 @@ class CheckResult:
     executions_explored: int
     truncated_paths: int
     checked_program: Program  # the (possibly relabeled/transformed) program
+    #: Distinct race-relevant execution classes seen (== executions when
+    #: deduplication is off or every execution is its own class).
+    execution_classes: int = 0
+    #: Race analyses actually run (<= executions_explored under dedup).
+    analyses_run: int = 0
 
     @property
     def race_kinds(self) -> Tuple[str, ...]:
@@ -80,7 +85,25 @@ class CheckResult:
         )
 
 
-def _prepare(program: Program, model: str) -> Program:
+def _program_key(program: Program) -> Optional[Tuple]:
+    """Structural identity of a program, or ``None`` when unhashable
+    (custom AST nodes); used to memoize the per-model preparation."""
+    try:
+        key = (program.name, program.threads, tuple(sorted(program.init.items())))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+#: (program key, model) -> prepared program.  DRFrlx preparation runs the
+#: quantum transformation; without this memo every ``check`` call on the
+#: same litmus test rebuilds the quantum-equivalent program from scratch.
+_PREPARED_MEMO: Dict[Tuple, Program] = {}
+_PREPARED_MEMO_MAX = 512
+
+
+def _prepare_uncached(program: Program, model: str) -> Program:
     if model == "drf0":
         return program.relabel(_DRF0_RELABEL)
     if model == "drf1":
@@ -93,6 +116,84 @@ def _prepare(program: Program, model: str) -> Program:
     raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
 
 
+def _prepare(program: Program, model: str) -> Program:
+    key = _program_key(program)
+    if key is None:
+        return _prepare_uncached(program, model)
+    memo_key = (key, model)
+    prepared = _PREPARED_MEMO.get(memo_key)
+    if prepared is None:
+        prepared = _prepare_uncached(program, model)
+        if len(_PREPARED_MEMO) >= _PREPARED_MEMO_MAX:
+            _PREPARED_MEMO.clear()
+        _PREPARED_MEMO[memo_key] = prepared
+    return prepared
+
+
+def classify_enumeration(
+    enumeration: SCEnumeration,
+    model: str,
+    max_witnesses: int = 32,
+    backend: Optional[str] = None,
+    dedup: bool = True,
+    exhaustive: bool = True,
+) -> Tuple[Tuple[RaceWitness, ...], int, int]:
+    """Race-classify every execution of *enumeration* under *model*.
+
+    Returns ``(witnesses, execution_classes, analyses_run)``.  This is
+    the analysis half of :func:`check`, split out so the bench harness
+    can time it against a shared enumeration.
+
+    ``dedup=True`` projects each execution to its race-relevant
+    signature (:func:`repro.core.races.race_signature`) and analyzes one
+    representative per equivalence class; every member execution still
+    reports the class's races under its own execution index, so the
+    witness list is identical to the exhaustive per-execution scan
+    (modulo internal event ids, which do not print).  ``backend``
+    selects the relation backend for the analysis (see
+    :mod:`repro.core.relations`).  ``exhaustive=False`` is the
+    early-exit witness mode: stop at the first illegal race — same
+    verdict, at most one witness.
+    """
+    classes = _ILLEGAL_CLASSES[model]
+    witnesses: List[RaceWitness] = []
+    class_races: Dict[int, Tuple[Race, ...]] = {}
+    #: signature -> small class id; one hash of the (large) signature
+    #: tuple per execution, everything downstream keys on the id.
+    class_ids: Dict[Tuple, int] = {}
+    intern: Dict[Tuple, int] = {}  # shared event-key interning (see race_signature)
+    analyses = 0
+    _UNSEEN = object()
+    for idx, execution in enumerate(enumeration.executions):
+        races_found = _UNSEEN
+        if dedup:
+            sig_id = class_ids.setdefault(
+                race_signature(execution, intern), len(class_ids)
+            )
+            races_found = class_races.get(sig_id, _UNSEEN)
+        if races_found is _UNSEEN:
+            execution.set_backend(backend)
+            analysis = RaceAnalysis(execution)
+            analyses += 1
+            if exhaustive:
+                races_found = analysis.illegal_races(classes)
+            else:
+                first = analysis.first_illegal_race(classes)
+                races_found = (first,) if first is not None else ()
+            if dedup:
+                class_races[sig_id] = races_found
+        if races_found:
+            for race in races_found:
+                if len(witnesses) < max_witnesses:
+                    witnesses.append(RaceWitness(idx, race))
+                else:
+                    break
+            if not exhaustive and witnesses:
+                break
+    n_classes = len(class_ids) if dedup else analyses
+    return tuple(witnesses), n_classes, analyses
+
+
 def check(
     program: Program,
     model: str,
@@ -100,6 +201,9 @@ def check(
     max_witnesses: int = 32,
     naive: bool = False,
     cache=None,
+    backend: Optional[str] = None,
+    dedup: bool = True,
+    exhaustive: bool = True,
 ) -> CheckResult:
     """Check *program* against one of the three models.
 
@@ -110,33 +214,46 @@ def check(
     engine (the oracle for equivalence tests).  ``cache`` (a
     :data:`repro.perf.cache.CacheSpec`) memoizes the enumeration on
     disk, keyed by the prepared program and the enumerator sources.
+
+    ``backend`` picks the relation representation (``"dense"`` bitsets,
+    ``"pairs"`` frozensets, ``None``/``"auto"`` chooses); ``dedup``
+    analyzes one representative per race-relevant execution class (the
+    default — verdicts and witnesses are identical either way);
+    ``exhaustive=False`` stops at the first illegal race, returning at
+    most one witness (same verdict, less work on illegal programs).
     """
     prepared = _prepare(program, model)
     enumeration = enumerate_sc_executions(
         prepared, max_executions=max_executions, naive=naive, cache=cache
     )
-    classes = _ILLEGAL_CLASSES[model]
-    witnesses = []
-    for idx, execution in enumerate(enumeration.executions):
-        analysis = RaceAnalysis(execution)
-        for race in analysis.illegal_races(classes):
-            if len(witnesses) < max_witnesses:
-                witnesses.append(RaceWitness(idx, race))
-            else:
-                break
+    witnesses, n_classes, analyses = classify_enumeration(
+        enumeration,
+        model,
+        max_witnesses=max_witnesses,
+        backend=backend,
+        dedup=dedup,
+        exhaustive=exhaustive,
+    )
     return CheckResult(
         program_name=program.name,
         model=model,
         legal=not witnesses,
-        witnesses=tuple(witnesses),
+        witnesses=witnesses,
         executions_explored=len(enumeration.executions),
         truncated_paths=enumeration.truncated_paths,
         checked_program=prepared,
+        execution_classes=n_classes,
+        analyses_run=analyses,
     )
 
 
 def check_all_models(
-    program: Program, max_executions: Optional[int] = None
+    program: Program,
+    max_executions: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CheckResult]:
     """Run all three checkers; the per-model verdict table of Section 3.8."""
-    return {model: check(program, model, max_executions) for model in MODELS}
+    return {
+        model: check(program, model, max_executions, backend=backend)
+        for model in MODELS
+    }

@@ -12,62 +12,72 @@ validity clauses), which the Herd transcription in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from repro.core.util import cached_property
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from operator import attrgetter
 
 from repro.core.events import Event, Execution
 from repro.core.labels import AtomicKind
 
+_PROGRAM_ORDER_KEY = attrgetter("tid", "po_index")
+
 
 @dataclass(frozen=True)
 class Operation:
-    """A memory operation: a load, a store, or an RMW (read+write)."""
+    """A memory operation: a load, a store, or an RMW (read+write).
+
+    The scalar views below are ``cached_property`` rather than
+    ``property``: the race scans consult them once per operation *pair*,
+    and ``cached_property`` writes to ``__dict__`` directly, which works
+    on a frozen dataclass (and does not participate in field-based
+    ``__eq__``/``__hash__``)."""
 
     events: Tuple[Event, ...]
 
-    @property
+    @cached_property
     def tid(self) -> int:
         return self.events[0].tid
 
-    @property
+    @cached_property
     def loc(self) -> str:
         return self.events[0].loc
 
-    @property
+    @cached_property
     def label(self) -> AtomicKind:
         return self.events[0].label
 
-    @property
+    @cached_property
     def is_rmw(self) -> bool:
         return len(self.events) == 2
 
-    @property
+    @cached_property
     def has_read(self) -> bool:
         return any(e.is_read for e in self.events)
 
-    @property
+    @cached_property
     def has_write(self) -> bool:
         return any(e.is_write for e in self.events)
 
-    @property
+    @cached_property
     def read_event(self) -> Optional[Event]:
         for e in self.events:
             if e.is_read:
                 return e
         return None
 
-    @property
+    @cached_property
     def write_event(self) -> Optional[Event]:
         for e in self.events:
             if e.is_write:
                 return e
         return None
 
-    @property
+    @cached_property
     def is_atomic(self) -> bool:
         return self.events[0].is_atomic
 
-    @property
+    @cached_property
     def po_index(self) -> int:
         return self.events[0].po_index
 
@@ -93,10 +103,12 @@ class OperationGraph:
 
     @staticmethod
     def _lift_operations(execution: Execution) -> Tuple[Operation, ...]:
-        rmw_partner = {r.eid: w.eid for r, w in execution.rmw}
+        # _rmw_pairs already holds the (read eid, write eid) pairing; the
+        # rmw *relation* is not needed here.
+        rmw_partner = dict(execution._rmw_pairs)
         taken: Set[int] = set()
         ops: List[Operation] = []
-        for e in sorted(execution.program_events, key=lambda e: (e.tid, e.po_index)):
+        for e in sorted(execution.program_events, key=_PROGRAM_ORDER_KEY):
             if e.eid in taken:
                 continue
             if e.eid in rmw_partner:
@@ -114,9 +126,13 @@ class OperationGraph:
     def t_before(self, a: Operation, b: Operation) -> bool:
         return self.execution.t_before(a.events[0], b.events[0])
 
-    def hb1_holds(self, hb1_event_pairs: FrozenSet[Tuple[int, int]],
+    def hb1_holds(self, hb1_event_pairs,
                   a: Operation, b: Operation) -> bool:
-        """hb1 lifted to operations: any event of *a* hb1-before any of *b*."""
+        """hb1 lifted to operations: any event of *a* hb1-before any of *b*.
+
+        *hb1_event_pairs* is anything answering ``(eid, eid) in ...`` —
+        a frozenset of eid pairs or the dense bitmask view
+        (:func:`repro.core.races.eid_pair_view`)."""
         return any(
             (ea.eid, eb.eid) in hb1_event_pairs
             for ea in a.events
@@ -231,7 +247,7 @@ class OperationGraph:
         self,
         a: Operation,
         b: Operation,
-        hb1_event_pairs: FrozenSet[Tuple[int, int]],
+        hb1_event_pairs,
     ) -> bool:
         """True when the ordering a -> b is enforced by a valid path:
         the endpoints are hb1-ordered, or a uniform same-address atomic

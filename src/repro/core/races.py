@@ -9,13 +9,41 @@ at event granularity and lifted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from operator import itemgetter
+from repro.core.util import cached_property
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+_CO_LOC_KEY = itemgetter(0)
 
 from repro.core.events import Execution, RmwInfo
 from repro.core.labels import AtomicKind
 from repro.core.paths import Operation, OperationGraph
-from repro.core.relations import Relation
+from repro.core.relations import DenseRelation, Relation
+
+
+class _EidPairView:
+    """``(eid_a, eid_b) in view`` over a dense relation, without ever
+    materializing the pair set.  The dense ids of an execution's events
+    are their positions in the SC total order, so membership is two dict
+    lookups and one shift."""
+
+    __slots__ = ("_rows", "_pos")
+
+    def __init__(self, relation: DenseRelation, order_pos: Dict[int, int]):
+        self._rows = relation.rows
+        self._pos = order_pos
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        a, b = pair
+        return bool(self._rows[self._pos[a]] >> self._pos[b] & 1)
+
+
+def eid_pair_view(execution: Execution, relation) -> object:
+    """Eid-pair membership for :meth:`OperationGraph.hb1_holds`: a
+    zero-copy view when *relation* is dense, a frozenset otherwise."""
+    if isinstance(relation, DenseRelation):
+        return _EidPairView(relation, execution._order_pos)
+    return frozenset((a.eid, b.eid) for a, b in relation)
 
 
 @dataclass(frozen=True)
@@ -114,7 +142,13 @@ class RaceAnalysis:
 
     def __init__(self, execution: Execution):
         self.execution = execution
-        self.graph = OperationGraph(execution)
+
+    @cached_property
+    def graph(self) -> OperationGraph:
+        """Operation-level view, built on first use: the dense race scan
+        proves most executions race-free at event granularity and never
+        needs it."""
+        return OperationGraph(self.execution)
 
     # -- synchronization order and happens-before-1 ---------------------------
     @cached_property
@@ -122,35 +156,70 @@ class RaceAnalysis:
         """Synchronization order: a paired/release synchronization write
         before a conflicting paired/acquire read in T.  (PAIRED-only in
         the paper; RELEASE->ACQUIRE is this library's extension.)"""
-        from repro.core.labels import SYNC_READ_KINDS, SYNC_WRITE_KINDS
-
         ex = self.execution
-        paired_w = [
-            e for e in ex.program_events
-            if e.is_write and e.label in SYNC_WRITE_KINDS
-        ]
-        paired_r = [
-            e for e in ex.program_events
-            if e.is_read and e.label in SYNC_READ_KINDS
-        ]
-        pairs = [
-            (w, r)
-            for w in paired_w
-            for r in paired_r
-            if w.conflicts_with(r) and ex.t_before(w, r)
-        ]
-        return Relation(pairs)
+        return ex._relation_from_eid_pairs(ex._so1_eid_pairs)
 
     @cached_property
     def hb1(self) -> Relation:
         """Happens-before-1 = (po | so1)+ (Section 2.3.2)."""
-        return (self.execution.po | self.so1).transitive_closure()
+        ex = self.execution
+        if ex.backend == "dense":
+            return DenseRelation(ex.dense_index, self._hb1_rows)
+        return (ex.po | self.so1).transitive_closure()
 
     @cached_property
-    def _hb1_eids(self) -> FrozenSet[Tuple[int, int]]:
-        return frozenset((a.eid, b.eid) for a, b in self.hb1)
+    def _hb1_rows(self) -> List[int]:
+        """hb1 as dense bitmask rows, computed without intermediate
+        relation objects (dense backend).  po and so1 edges always point
+        T-forward, so the ids (= T positions) are a topological order and
+        one reverse accumulation pass closes the union."""
+        ex = self.execution
+        pos = ex._order_pos
+        rows = [0] * len(ex.order)
+        for evs in ex._po_threads:
+            mask_later = 0
+            for e in reversed(evs):
+                i = pos[e.eid]
+                rows[i] |= mask_later
+                mask_later |= 1 << i
+        for a, b in ex._so1_eid_pairs:
+            rows[pos[a]] |= 1 << pos[b]
+        for i in range(len(rows) - 1, -1, -1):
+            row = rows[i]
+            acc = row
+            while row:
+                low = row & -row
+                acc |= rows[low.bit_length() - 1]
+                row ^= low
+            rows[i] = acc
+        return rows
+
+    @cached_property
+    def _hb1_eids(self):
+        return eid_pair_view(self.execution, self.hb1)
+
+    @cached_property
+    def _op_bits(self) -> Dict[Operation, Tuple[List[int], int]]:
+        """Per-operation dense event positions and their combined mask,
+        for bit-parallel hb1 lifting (dense backend only)."""
+        pos = self.execution._order_pos
+        out: Dict[Operation, Tuple[List[int], int]] = {}
+        for op in self.graph.operations:
+            ids = [pos[e.eid] for e in op.events]
+            mask = 0
+            for i in ids:
+                mask |= 1 << i
+            out[op] = (ids, mask)
+        return out
 
     def _hb1_ordered(self, a: Operation, b: Operation) -> bool:
+        if self.execution.backend == "dense":
+            rows = self._hb1_rows
+            ids_a, mask_a = self._op_bits[a]
+            ids_b, mask_b = self._op_bits[b]
+            return any(rows[i] & mask_b for i in ids_a) or any(
+                rows[i] & mask_a for i in ids_b
+            )
         return self.graph.hb1_holds(self._hb1_eids, a, b) or self.graph.hb1_holds(
             self._hb1_eids, b, a
         )
@@ -160,18 +229,57 @@ class RaceAnalysis:
     def races(self) -> Tuple[Tuple[Operation, Operation], ...]:
         """All racy operation pairs: conflicting, different threads, not
         hb1-ordered either way.  Each pair is reported once, in T order."""
-        ops = self.graph.operations
-        out: List[Tuple[Operation, Operation]] = []
-        for i, a in enumerate(ops):
-            for b in ops[i + 1:]:
-                if a.tid == b.tid or not a.conflicts_with(b):
+        return tuple(pair for pair, _, _ in self._races_info)
+
+    @cached_property
+    def _races_info(self) -> Tuple[Tuple[Tuple[Operation, Operation], AtomicKind, AtomicKind], ...]:
+        """Racy pairs with both labels, precomputed so the per-class
+        scans below never re-read operation attributes.  Each entry is
+        ``((first, second), first.label, second.label)`` in T order."""
+        # The pair scan is the hot loop of the checker; precompute each
+        # operation's tid/loc/write flag and dense bits once so the inner
+        # loop touches no properties.  (Nearly every deduplicated
+        # representative is racy — the race-free bulk collapses into a
+        # handful of classes — so there is no profit in a cheaper
+        # event-level pre-scan here.)
+        ex = self.execution
+        pos = ex._order_pos
+        # Dense: read the closure rows directly (no relation object, no
+        # EventIndex).  Each op carries the OR of its events' hb1 rows
+        # (``out``-reachability) and the mask of its events' T positions,
+        # so "some event of a hb1-before some event of b" is one AND.
+        dense = ex.backend == "dense"
+        rows = self._hb1_rows if dense else None
+        info = []
+        for op in self.graph.operations:
+            evs = op.events
+            e0 = evs[0]
+            p0 = pos[e0.eid]
+            mask = 1 << p0
+            combined = rows[p0] if dense else 0
+            for e in evs[1:]:
+                p = pos[e.eid]
+                mask |= 1 << p
+                if dense:
+                    combined |= rows[p]
+            w = e0.kind == "W" or (len(evs) > 1 and evs[1].kind == "W")
+            info.append((op, e0.tid, e0.loc, w, p0, combined, mask, e0.label))
+        out = []
+        for i, (a, ta, la, wa, pa, ca, ma, ka) in enumerate(info):
+            for b, tb, lb, wb, pb, cb, mb, kb in info[i + 1:]:
+                if ta == tb or la != lb or not (wa or wb):
                     continue
-                if self._hb1_ordered(a, b):
+                if dense:
+                    if ca & mb or cb & ma:
+                        continue
+                elif self._hb1_ordered(a, b):
                     continue
-                if self.graph.t_before(a, b):
-                    out.append((a, b))
+                # T order of the pair: dense ids are T positions; the
+                # first event of each op decides (same rule as t_before).
+                if pa < pb:
+                    out.append(((a, b), ka, kb))
                 else:
-                    out.append((b, a))
+                    out.append(((b, a), kb, ka))
         return tuple(out)
 
     def _observed(self, op: Operation) -> bool:
@@ -183,10 +291,11 @@ class RaceAnalysis:
     # -- per-class classification ----------------------------------------------
     @cached_property
     def data_races(self) -> Tuple[Race, ...]:
+        data = AtomicKind.DATA
         return tuple(
             Race("data", a, b)
-            for a, b in self.races
-            if a.label is AtomicKind.DATA or b.label is AtomicKind.DATA
+            for (a, b), ka, kb in self._races_info
+            if ka is data or kb is data
         )
 
     @cached_property
@@ -195,10 +304,11 @@ class RaceAnalysis:
         pair is not commutative, or a loaded value is observed."""
         out = []
         info = self.execution.rmw_info
-        for a, b in self.races:
-            if AtomicKind.COMMUTATIVE not in (a.label, b.label):
+        comm, data = AtomicKind.COMMUTATIVE, AtomicKind.DATA
+        for (a, b), ka, kb in self._races_info:
+            if ka is not comm and kb is not comm:
                 continue
-            if a.label is AtomicKind.DATA or b.label is AtomicKind.DATA:
+            if ka is data or kb is data:
                 continue  # already a data race
             if not writes_commute(a, b, info) or self._observed(a) or self._observed(b):
                 out.append(Race("commutative", a, b))
@@ -208,16 +318,22 @@ class RaceAnalysis:
     def non_ordering_races(self) -> Tuple[Race, ...]:
         """Section 3.3.3: the racing pair lies on an ordering path between
         conflicting operations A and B with no valid path from A to B."""
+        non_ordering = AtomicKind.NON_ORDERING
+        candidates = [
+            (x, y)
+            for (x, y), kx, ky in self._races_info
+            if kx is non_ordering or ky is non_ordering
+        ]
+        if not candidates:
+            return ()
         already = {
             (r.first, r.second) for r in self.data_races + self.commutative_races
         }
         out = []
-        for x, y in self.races:
+        for x, y in candidates:
             if (x, y) in already:
                 continue
             if not (x.is_atomic and y.is_atomic):
-                continue
-            if AtomicKind.NON_ORDERING not in (x.label, y.label):
                 continue
             if self._creates_unbacked_order(x, y):
                 out.append(Race("non_ordering", x, y))
@@ -253,21 +369,21 @@ class RaceAnalysis:
     @cached_property
     def quantum_races(self) -> Tuple[Race, ...]:
         """Section 3.4.3: quantum operations may only race with quantum."""
-        out = []
-        for a, b in self.races:
-            qa = a.label is AtomicKind.QUANTUM
-            qb = b.label is AtomicKind.QUANTUM
-            if qa != qb:
-                out.append(Race("quantum", a, b))
-        return tuple(out)
+        quantum = AtomicKind.QUANTUM
+        return tuple(
+            Race("quantum", a, b)
+            for (a, b), ka, kb in self._races_info
+            if (ka is quantum) != (kb is quantum)
+        )
 
     @cached_property
     def speculative_races(self) -> Tuple[Race, ...]:
         """Section 3.5.3: a race involving a speculative atomic where both
         sides write, or the racy load's value is observed."""
+        spec = AtomicKind.SPECULATIVE
         out = []
-        for a, b in self.races:
-            if AtomicKind.SPECULATIVE not in (a.label, b.label):
+        for (a, b), ka, kb in self._races_info:
+            if ka is not spec and kb is not spec:
                 continue
             if a.has_write and b.has_write:
                 out.append(Race("speculative", a, b))
@@ -277,16 +393,140 @@ class RaceAnalysis:
                 out.append(Race("speculative", a, b))
         return tuple(out)
 
+    _RACE_POOL_ATTRS = {
+        "data": "data_races",
+        "commutative": "commutative_races",
+        "non_ordering": "non_ordering_races",
+        "quantum": "quantum_races",
+        "speculative": "speculative_races",
+    }
+
+    def _race_pool(self, cls: str) -> Tuple[Race, ...]:
+        return getattr(self, self._RACE_POOL_ATTRS[cls])
+
     def illegal_races(self, classes: Tuple[str, ...]) -> Tuple[Race, ...]:
         """Union of the requested race classes, in a stable order."""
-        pools = {
-            "data": self.data_races,
-            "commutative": self.commutative_races,
-            "non_ordering": self.non_ordering_races,
-            "quantum": self.quantum_races,
-            "speculative": self.speculative_races,
-        }
         out: List[Race] = []
         for cls in classes:
-            out.extend(pools[cls])
+            out.extend(self._race_pool(cls))
         return tuple(out)
+
+    def first_illegal_race(self, classes: Tuple[str, ...]) -> Optional[Race]:
+        """The first illegal race in the :meth:`illegal_races` order, or
+        ``None`` — evaluated class by class, so a data race is reported
+        without ever running the (expensive) non-ordering analysis.
+        This is the per-execution half of the checker's early-exit
+        witness mode (``exhaustive=False``)."""
+        for cls in classes:
+            pool = self._race_pool(cls)
+            if pool:
+                return pool[0]
+        return None
+
+
+def race_signature(
+    execution: Execution, intern: Optional[Dict[Tuple, int]] = None
+) -> Tuple:
+    """Canonical race-relevant signature of one SC execution.
+
+    Two executions with equal signatures have identical race analyses
+    (same race classes, same racy operation pairs, printed identically):
+    every input of :class:`RaceAnalysis` — the per-thread dynamic events
+    (labels, locations, values), reads-from, coherence, the dependency
+    edges behind ``observed_reads``, and the RMW pairing/semantics — is
+    captured below in interleaving-independent form.  The SC total order
+    itself is deliberately absent: the T-order of every *conflicting*
+    pair (all the analysis consults) is already determined by rf and co,
+    and non-conflicting T-order never influences a race verdict.  Final
+    registers are also race-irrelevant, which is exactly what makes the
+    checker's execution-class deduplication collapse the havoc fan-out
+    of quantum-equivalent programs.
+
+    *intern* (a mutable dict shared across one batch of calls) maps
+    canonical event keys to small integers, so the signature sorts,
+    hashes, and compares over ints instead of nested tuples.  Interning
+    is injective, hence signature equality under a shared *intern* dict
+    coincides with equality of the un-interned signatures; signatures
+    built under different (or no) *intern* dicts are not comparable.
+    """
+    if intern is None:
+        intern = {}
+    by_eid = execution.by_eid
+    # One pass over the events: intern each key and record the per-thread
+    # multiset and per-location write sequence (T order) as we go.
+    local: Dict[int, int] = {}  # eid -> interned key id, this execution
+    per_thread: List[int] = []
+    co_flat: List[Tuple[str, int]] = []
+    setdefault = intern.setdefault
+    for eid in execution.order:
+        e = by_eid[eid]
+        d = e.__dict__
+        # The enumerator shares Event objects across the executions of
+        # one enumeration (common interleaving prefixes), so the interned
+        # id and the flags below are memoized on the event, tagged with
+        # the intern dict so a new batch never sees a stale id.
+        memo = d.get("_sig_memo")
+        if memo is None or memo[0] is not intern:
+            # setdefault evaluates len(intern) before any insertion, so
+            # the id handed to a new key is exactly the next free one.
+            k = setdefault(e.key(), len(intern))
+            memo = (
+                intern,
+                k,
+                not e.is_init,
+                (e.loc, k) if e.kind == "W" else None,
+            )
+            d["_sig_memo"] = memo
+        k = memo[1]
+        local[eid] = k
+        if memo[2]:
+            per_thread.append(k)
+        ce = memo[3]
+        if ce is not None:
+            co_flat.append(ce)
+    per_thread.sort()
+    # Pair keys are packed into single ints (interned ids stay far below
+    # 2**24, so the packing is injective): int sorts and compares are
+    # several times cheaper than tuple ones in this, the hottest loop of
+    # the deduplicating checker.
+    rf_key = sorted(
+        [(local[w] << 24) | local[r] for r, w in execution._rf_map.items()]
+    )
+    # Stable sort on location only: within one location the T order of
+    # the writes (= coherence) is preserved, so this flat form is
+    # injectively equivalent to a per-location grouping.
+    co_flat.sort(key=_CO_LOC_KEY)
+    dep_key = (
+        tuple(sorted(
+            [
+                (name, tuple(sorted(
+                    [(local[a] << 24) | local[b]
+                     for a, b in edges
+                     if a in local and b in local]
+                )))
+                for name, edges in execution._dep_edges.items()
+                if edges
+            ]
+        ))
+        if execution._dep_edges
+        else ()
+    )
+    rmw_pairs = execution._rmw_pairs
+    rmw_key = (
+        tuple(sorted([(local[r] << 24) | local[w] for r, w in rmw_pairs]))
+        if rmw_pairs
+        else ()
+    )
+    rmw_info = execution.rmw_info
+    rmw_info_key = (
+        tuple(sorted(
+            [(local[w], (info.op, info.operand, info.operand2))
+             for w, info in rmw_info.items()]
+        ))
+        if rmw_info
+        else ()
+    )
+    return (
+        tuple(per_thread), tuple(rf_key), tuple(co_flat), dep_key,
+        rmw_key, rmw_info_key,
+    )

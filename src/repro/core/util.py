@@ -1,0 +1,41 @@
+"""Small internal utilities for the core modules."""
+
+from __future__ import annotations
+
+
+class cached_property:  # noqa: N801 - drop-in for functools.cached_property
+    """Lockless ``functools.cached_property``.
+
+    Python 3.11's ``functools.cached_property`` serializes every cache
+    miss through an RLock; the checkers create thousands of short-lived
+    objects whose properties are computed exactly once, so the lock is
+    pure overhead (3.12 removed it upstream for the same reason).  Worst
+    case under concurrent first access is a duplicate computation, which
+    is safe for the pure derivations cached here.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.attrname = None
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        if self.attrname is None:
+            self.attrname = name
+        elif name != self.attrname:
+            raise TypeError(
+                "Cannot assign the same cached_property to two different "
+                f"names ({self.attrname!r} and {name!r})."
+            )
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        if self.attrname is None:
+            raise TypeError(
+                "Cannot use cached_property instance without calling "
+                "__set_name__ on it."
+            )
+        value = self.func(instance)
+        instance.__dict__[self.attrname] = value
+        return value

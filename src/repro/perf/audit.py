@@ -39,21 +39,25 @@ class AuditResult:
         return all(exp == act for exp, act, _ in self.verdicts.values())
 
 
-def _audit_file(task: Tuple[str, Optional[str]]) -> AuditResult:
+def _audit_file(
+    task: Tuple[str, Optional[str], Optional[str], bool]
+) -> AuditResult:
     """Worker: parse one corpus file and check every declared model.
 
     The second task element is a result-cache root (or None): workers
     open their own :class:`~repro.perf.cache.ResultCache` on it so the
-    per-program enumerations are memoized across runs.
+    per-program enumerations are memoized across runs.  The remaining
+    elements carry the relation ``backend`` and ``dedup`` flags through
+    to :func:`repro.core.model.check`.
     """
-    path, cache_root = task
+    path, cache_root, backend, dedup = task
     cache = resolve_cache(cache_root) if cache_root is not None else None
     with open(path) as handle:
         text = handle.read()
     program = parse(text)
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]] = {}
     for model, (legal, _kinds) in sorted(_parse_expectations(text).items()):
-        result = check(program, model, cache=cache)
+        result = check(program, model, cache=cache, backend=backend, dedup=dedup)
         verdicts[model] = (legal, result.legal, result.race_kinds)
     return AuditResult(name=program.name, path=path, verdicts=verdicts)
 
@@ -62,17 +66,21 @@ def audit_corpus(
     directory: str = CORPUS_DIR,
     jobs: Optional[int] = None,
     cache: CacheSpec = None,
+    backend: Optional[str] = None,
+    dedup: bool = True,
 ) -> Tuple[AuditResult, ...]:
     """Audit every corpus file; results in sorted-filename order.
 
     ``cache`` memoizes each file's per-model enumerations on disk (see
     :mod:`repro.perf.cache`); only its directory crosses the process
-    boundary.
+    boundary.  ``backend``/``dedup`` select the relation backend and
+    execution-class deduplication for every check (the verdicts are
+    identical in all combinations; these are perf knobs).
     """
     store = resolve_cache(cache)
     root = store.root if store is not None else None
     tasks = [
-        (os.path.join(directory, filename), root)
+        (os.path.join(directory, filename), root, backend, dedup)
         for filename in sorted(os.listdir(directory))
         if filename.endswith(".litmus")
     ]

@@ -2,17 +2,21 @@
 
 Measures (1) SC-execution enumeration over the litmus corpus — default
 engine (POR + memo + copy-on-write prefixes) vs the naive full-clone
-oracle — (2) a scaled Figure-3 sweep — serial vs process-pool parallel —
-(3) the trace-compiled simulator engine vs the reference interpreter on
-a cold sweep — (4) the result cache — cold (populating) vs fully warm
-sweep and corpus enumerations, in a throwaway cache directory — and
-(5) the observability layer's overhead — untraced vs no-op tracer vs
-fully enabled tracer on one simulation — and writes a
-``BENCH_<date>.json`` record so future PRs have a perf trajectory to
-compare against.
+oracle — (2) full-corpus race classification under all three models —
+bitset relations + execution-class dedup vs the pair-set per-execution
+oracle (the ``relcheck`` section) — (3) a scaled Figure-3 sweep — serial
+vs process-pool parallel — (4) the trace-compiled simulator engine vs
+the reference interpreter on a cold sweep — (5) the result cache — cold
+(populating) vs fully warm sweep and corpus enumerations, in a
+throwaway cache directory — and (6) the observability layer's overhead
+— untraced vs no-op tracer vs fully enabled tracer on one simulation —
+and writes a ``BENCH_<date>.json`` record so future PRs have a perf
+trajectory to compare against.
 
 The measurements double as correctness checks: the enumeration bench
-asserts the two engines produce the same execution sets, and the sweep
+asserts the two engines produce the same execution sets, the relcheck
+bench asserts verdicts and race witnesses are identical between relation
+backends (and that early-exit reproduces every verdict), and the sweep
 and simgen benches assert their CSV artifacts are byte-identical
 (parallel vs serial; compiled vs reference).
 
@@ -409,6 +413,120 @@ def bench_tracing(
     }
 
 
+def bench_relcheck(
+    models: Sequence[str] = ("drf0", "drf1", "drfrlx"),
+    repeat: int = 3,
+) -> Dict:
+    """Time race classification over the full corpus: bitset relations +
+    execution-class dedup vs the pair-set per-execution oracle.
+
+    This isolates the phase the relational kernel optimizes — the
+    analysis half of :func:`repro.core.model.check` — against shared
+    pre-built enumerations (enumeration itself is the ``enumeration``
+    section's subject).  Every corpus program is classified under all
+    three models.  The two variants are interleaved and the best of
+    *repeat* rounds kept per check, so host noise hits both equally.
+
+    Doubles as the backend-equivalence oracle check: verdicts and the
+    full ``(execution index, race)`` witness sequences must be identical
+    between the variants, and the early-exit mode must reproduce every
+    verdict.  Target: >=3x overall.
+    """
+    from repro.core.model import _prepare, classify_enumeration
+
+    tasks = []
+    for name, program in _corpus_programs():
+        for model in models:
+            prepared = _prepare(program, model)
+            enum = enumerate_sc_executions(prepared)
+            tasks.append((name, model, enum))
+
+    variants = (
+        ("pairs", {"backend": "pairs", "dedup": False}),
+        ("dense", {"backend": "dense", "dedup": True}),
+    )
+    best: Dict[Tuple[str, str], float] = {}
+    outputs: Dict[Tuple[str, str], Tuple] = {}
+    stats: Dict[str, Tuple[int, int, int]] = {}
+    for _ in range(max(1, repeat)):
+        for name, model, enum in tasks:
+            for variant, kwargs in variants:
+                t0 = time.perf_counter()
+                witnesses, n_classes, analyses = classify_enumeration(
+                    enum, model, **kwargs
+                )
+                elapsed = time.perf_counter() - t0
+                key = (f"{name}:{model}", variant)
+                if key not in best or elapsed < best[key]:
+                    best[key] = elapsed
+                outputs[key] = tuple(
+                    (w.execution_index, repr(w.race)) for w in witnesses
+                )
+                if variant == "dense":
+                    stats[f"{name}:{model}"] = (
+                        len(enum.executions), n_classes, analyses
+                    )
+
+    verdicts_ok = True
+    witnesses_ok = True
+    early_ok = True
+    for name, model, enum in tasks:
+        check_id = f"{name}:{model}"
+        oracle = outputs[(check_id, "pairs")]
+        dense = outputs[(check_id, "dense")]
+        if bool(oracle) != bool(dense):
+            verdicts_ok = False
+        if oracle != dense:
+            witnesses_ok = False
+        early, _, _ = classify_enumeration(
+            enum, model, backend="dense", dedup=True, exhaustive=False
+        )
+        if bool(early) != bool(oracle):
+            early_ok = False
+    if not (verdicts_ok and witnesses_ok and early_ok):
+        raise AssertionError(
+            "relation backends disagree: "
+            f"verdicts_identical={verdicts_ok}, "
+            f"witnesses_identical={witnesses_ok}, "
+            f"early_exit_identical={early_ok}"
+        )
+
+    per_model: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        wall_pairs = sum(
+            t for (check_id, variant), t in best.items()
+            if variant == "pairs" and check_id.endswith(f":{model}")
+        )
+        wall_dense = sum(
+            t for (check_id, variant), t in best.items()
+            if variant == "dense" and check_id.endswith(f":{model}")
+        )
+        per_model[model] = {
+            "wall_s_pairs": wall_pairs,
+            "wall_s_dense": wall_dense,
+            "speedup": wall_pairs / wall_dense if wall_dense > 0 else float("inf"),
+        }
+    wall_pairs = sum(m["wall_s_pairs"] for m in per_model.values())
+    wall_dense = sum(m["wall_s_dense"] for m in per_model.values())
+    return {
+        "programs": len({check_id.rsplit(":", 1)[0] for check_id, _ in best}),
+        "models": list(models),
+        "checks": len(tasks),
+        "repeat": repeat,
+        "executions": sum(n for n, _, _ in stats.values()),
+        "execution_classes": sum(c for _, c, _ in stats.values()),
+        "analyses_run": sum(a for _, _, a in stats.values()),
+        "wall_s_pairs": wall_pairs,
+        "wall_s_dense": wall_dense,
+        "speedup": wall_pairs / wall_dense if wall_dense > 0 else float("inf"),
+        "target_speedup": 3.0,
+        "verdicts_identical": verdicts_ok,
+        "witnesses_identical": witnesses_ok,
+        "early_exit_identical": early_ok,
+        "per_model": per_model,
+    }
+
+
 def run_bench(
     out_dir: str = ".",
     scale: float = 0.25,
@@ -435,6 +553,7 @@ def run_bench(
         "enumeration": bench_enumeration(
             programs=enum_programs, repeat=repeat, stress=stress
         ),
+        "relcheck": bench_relcheck(repeat=repeat),
         "sweep": bench_sweep(
             scale=scale, jobs=jobs, names=sweep_names, engine=engine
         ),
@@ -467,6 +586,18 @@ def summarize(record: Dict) -> str:
         f"{enum['paths_default']}, por_pruned={enum['por_pruned']}, "
         f"memo_hits={enum['memo_hits']})"
     )
+    relcheck = record.get("relcheck")
+    if relcheck:
+        lines.append(
+            f"relcheck: {relcheck['checks']} checks "
+            f"({relcheck['executions']} executions -> "
+            f"{relcheck['execution_classes']} classes), "
+            f"{relcheck['wall_s_pairs']*1000:.1f}ms pairs -> "
+            f"{relcheck['wall_s_dense']*1000:.1f}ms dense+dedup "
+            f"({relcheck['speedup']:.2f}x, "
+            f"target >={relcheck['target_speedup']:.1f}x; "
+            f"witnesses identical: {relcheck['witnesses_identical']})"
+        )
     if sweep.get("serial_fallback"):
         lines.append(
             f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "

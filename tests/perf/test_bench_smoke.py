@@ -56,9 +56,16 @@ def test_bench_harness_emits_valid_json(tmp_path):
     with open(path) as handle:
         record = json.load(handle)
     assert set(record) == {
-        "date", "host", "enumeration", "sweep", "simgen", "tracing", "cache",
+        "date", "host", "enumeration", "relcheck", "sweep", "simgen",
+        "tracing", "cache",
     }
     assert record["host"]["cpu_count"] >= 1
+    relcheck = record["relcheck"]
+    assert relcheck["verdicts_identical"] is True
+    assert relcheck["witnesses_identical"] is True
+    assert relcheck["early_exit_identical"] is True
+    assert relcheck["execution_classes"] <= relcheck["executions"]
+    assert set(relcheck["per_model"]) == {"drf0", "drf1", "drfrlx"}
     enum = record["enumeration"]
     assert enum["programs"] == 3
     assert enum["wall_s_naive"] > 0 and enum["wall_s_default"] > 0
@@ -87,5 +94,5 @@ def test_bench_cli_quick(tmp_path, capsys):
     captured = capsys.readouterr()
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
-    assert "cache:" in out and "simgen:" in out
+    assert "cache:" in out and "simgen:" in out and "relcheck:" in out
     assert "deprecated" in captured.err
