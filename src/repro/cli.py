@@ -64,14 +64,18 @@ def _shared_flags() -> argparse.ArgumentParser:
         help="delete every result-cache entry before running",
     )
     shared.add_argument(
-        "--engine", choices=("auto", "compiled", "reference"), default="auto",
-        help="simulator execution engine: 'compiled' is the ahead-of-time "
-             "trace-compiled fast path, 'reference' the instrumented "
-             "interpreter; 'auto' (default) compiles unless tracing. "
-             "Both produce identical results",
+        "--engine",
+        choices=("auto", "compiled", "vectorized", "reference"),
+        default="auto",
+        help="simulator execution engine: 'vectorized' is the numpy-lowered "
+             "fast path, 'compiled' the ahead-of-time trace-compiled one, "
+             "'reference' the instrumented interpreter; 'auto' (default) "
+             "picks vectorized when numpy is importable, compiled "
+             "otherwise, and reference when tracing. All produce "
+             "identical results",
     )
     shared.add_argument(
-        "--relation-backend", choices=("auto", "dense", "pairs"),
+        "--relation-backend", choices=("auto", "dense", "numpy", "pairs"),
         default=None, metavar="B",
         help="relation representation for the model checkers: 'dense' "
              "bitsets, 'pairs' frozensets (the oracle), 'auto' (default) "
@@ -117,15 +121,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_bench, summarize
 
     _cli_cache(args, default=False)  # bench manages its own caches; honor --cache-clear
+    sections = (
+        tuple(s.strip() for s in args.section.split(",") if s.strip())
+        if args.section
+        else None
+    )
     if args.quick:
         path = run_bench(
             out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
             sweep_names=("SC", "SEQ"), stress=False, engine=args.engine,
+            sections=sections,
         )
     else:
         path = run_bench(
             out_dir=args.out or ".", scale=args.scale, jobs=args.jobs,
-            repeat=args.repeat, engine=args.engine,
+            repeat=args.repeat, engine=args.engine, sections=sections,
         )
     with open(path) as handle:
         record = json.load(handle)
@@ -271,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timing repetitions, best-of (default 3)")
     p.add_argument("--quick", action="store_true",
                    help="tiny smoke run (subset of workloads, scale 0.05)")
+    p.add_argument("--section", default=None, metavar="S[,S...]",
+                   help="run only the named bench sections (comma-"
+                        "separated), e.g. --section relcheck,simgen; "
+                        "default: all sections")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -22,18 +22,23 @@ from repro.core.model import CheckResult, check, check_all_models, classify_enum
 from repro.core.quantum import default_domain, quantum_equivalent
 from repro.core.races import Race, RaceAnalysis, race_signature, writes_commute
 from repro.core.relations import (
+    BACKENDS,
     DenseRelation,
     EventIndex,
+    NumpyRelation,
     Relation,
+    numpy_available,
     resolve_backend,
 )
 from repro.core.system_model import SystemModelReport, run_system_model
 
 __all__ = [
     "AtomicKind",
+    "BACKENDS",
     "CheckResult",
     "DenseRelation",
     "EventIndex",
+    "NumpyRelation",
     "HerdModel",
     "Race",
     "RaceAnalysis",
@@ -52,6 +57,7 @@ __all__ = [
     "enumerate_sc_executions",
     "is_atomic",
     "is_relaxed",
+    "numpy_available",
     "quantum_equivalent",
     "race_signature",
     "resolve_backend",

@@ -16,9 +16,11 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.labels import AtomicKind, is_atomic
 from repro.core.relations import (
-    DenseRelation,
+    INDEXED_BACKENDS,
+    NUMPY_BACKEND,
     EventIndex,
     Relation,
+    relation_from_rows,
     resolve_backend,
 )
 
@@ -118,7 +120,7 @@ class Execution:
         rmw_info: Optional[Mapping[int, RmwInfo]] = None,
         backend: Optional[str] = None,
     ):
-        #: Relation backend ("dense" | "pairs" | None for auto); see
+        #: Relation backend ("dense" | "numpy" | "pairs" | None for auto); see
         #: :func:`repro.core.relations.resolve_backend`.
         self._backend = backend
         self.events: Tuple[Event, ...] = tuple(events)
@@ -152,7 +154,10 @@ class Execution:
     def relation(self, pairs: Iterable[Tuple[Event, Event]] = ()):
         """Build a relation over this execution's events in the resolved
         backend — the factory every derived relation goes through."""
-        if self.backend == "dense":
+        backend = self.backend
+        if backend == NUMPY_BACKEND:
+            return self.dense_index.numpy_relation(pairs)
+        if backend == "dense":
             return self.dense_index.relation(pairs)
         return Relation(pairs)
 
@@ -246,7 +251,8 @@ class Execution:
     def po(self) -> Relation:
         """Program order: same thread, program-text order (transitive)."""
         threads = self._po_threads
-        if self.backend == "dense":
+        backend = self.backend
+        if backend in INDEXED_BACKENDS:
             # Build the successor rows directly: an event's row is the
             # mask of its thread's later events (dense ids are positions
             # in T, so no per-pair Event hashing).
@@ -258,7 +264,7 @@ class Execution:
                     i = pos[e.eid]
                     rows[i] |= mask_later
                     mask_later |= 1 << i
-            return DenseRelation(self.dense_index, rows)
+            return relation_from_rows(self.dense_index, rows, backend)
         pairs = []
         for evs in threads:
             for i, a in enumerate(evs):
@@ -269,12 +275,13 @@ class Execution:
     def _relation_from_eid_pairs(self, eid_pairs) -> Relation:
         """Relation from (eid, eid) pairs; dense rows are written directly
         from T positions, skipping per-pair Event hashing."""
-        if self.backend == "dense":
+        backend = self.backend
+        if backend in INDEXED_BACKENDS:
             pos = self._order_pos
             rows = [0] * len(self.order)
             for a, b in eid_pairs:
                 rows[pos[a]] |= 1 << pos[b]
-            return DenseRelation(self.dense_index, rows)
+            return relation_from_rows(self.dense_index, rows, backend)
         return Relation(
             (self.by_eid[a], self.by_eid[b]) for a, b in eid_pairs
         )
@@ -295,7 +302,8 @@ class Execution:
             e = self.by_eid[eid]
             if e.is_write:
                 per_loc.setdefault(e.loc, []).append(e)
-        if self.backend == "dense":
+        backend = self.backend
+        if backend in INDEXED_BACKENDS:
             pos = self._order_pos
             rows = [0] * len(self.order)
             for writes in per_loc.values():
@@ -304,7 +312,7 @@ class Execution:
                     i = pos[e.eid]
                     rows[i] |= mask_later
                     mask_later |= 1 << i
-            return DenseRelation(self.dense_index, rows)
+            return relation_from_rows(self.dense_index, rows, backend)
         pairs = []
         for writes in per_loc.values():
             for i, a in enumerate(writes):

@@ -18,7 +18,13 @@ _CO_LOC_KEY = itemgetter(0)
 from repro.core.events import Execution, RmwInfo
 from repro.core.labels import AtomicKind
 from repro.core.paths import Operation, OperationGraph
-from repro.core.relations import DenseRelation, Relation
+from repro.core.relations import (
+    INDEXED_BACKENDS,
+    DenseRelation,
+    NumpyRelation,
+    Relation,
+    relation_from_rows,
+)
 
 
 class _EidPairView:
@@ -40,8 +46,9 @@ class _EidPairView:
 
 def eid_pair_view(execution: Execution, relation) -> object:
     """Eid-pair membership for :meth:`OperationGraph.hb1_holds`: a
-    zero-copy view when *relation* is dense, a frozenset otherwise."""
-    if isinstance(relation, DenseRelation):
+    zero-copy view when *relation* is an indexed bitset (dense or
+    numpy — both expose int ``rows``), a frozenset otherwise."""
+    if isinstance(relation, (DenseRelation, NumpyRelation)):
         return _EidPairView(relation, execution._order_pos)
     return frozenset((a.eid, b.eid) for a, b in relation)
 
@@ -163,8 +170,10 @@ class RaceAnalysis:
     def hb1(self) -> Relation:
         """Happens-before-1 = (po | so1)+ (Section 2.3.2)."""
         ex = self.execution
-        if ex.backend == "dense":
-            return DenseRelation(ex.dense_index, self._hb1_rows)
+        if ex.backend in INDEXED_BACKENDS:
+            return relation_from_rows(
+                ex.dense_index, self._hb1_rows, ex.backend
+            )
         return (ex.po | self.so1).transitive_closure()
 
     @cached_property
@@ -213,7 +222,7 @@ class RaceAnalysis:
         return out
 
     def _hb1_ordered(self, a: Operation, b: Operation) -> bool:
-        if self.execution.backend == "dense":
+        if self.execution.backend in INDEXED_BACKENDS:
             rows = self._hb1_rows
             ids_a, mask_a = self._op_bits[a]
             ids_b, mask_b = self._op_bits[b]
@@ -248,7 +257,7 @@ class RaceAnalysis:
         # EventIndex).  Each op carries the OR of its events' hb1 rows
         # (``out``-reachability) and the mask of its events' T positions,
         # so "some event of a hb1-before some event of b" is one AND.
-        dense = ex.backend == "dense"
+        dense = ex.backend in INDEXED_BACKENDS
         rows = self._hb1_rows if dense else None
         info = []
         for op in self.graph.operations:

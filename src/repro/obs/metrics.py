@@ -139,6 +139,36 @@ class MetricSet:
         return f"{type(self).__name__}({body})"
 
 
+#: Process-wide one-time resolution counters: which relation backend /
+#: simulation engine ``auto`` (or an explicit choice) actually resolved
+#: to in this run.  Keys look like ``relation_backend_resolved:dense``.
+#: Each (kind, choice) pair is recorded once per process, so hot
+#: resolution paths stay free of per-call counter traffic.
+RUNTIME = MetricSet()
+
+_RESOLUTIONS_SEEN = set()
+
+
+def record_resolution(kind: str, choice: str) -> None:
+    """Record (once per process) that *kind* resolved to *choice*.
+
+    ``kind`` is ``"relation_backend"`` or ``"sim_engine"``; the counter
+    ``{kind}_resolved:{choice}`` lands in :data:`RUNTIME` the first time
+    each pair is seen.
+    """
+    key = (kind, choice)
+    if key in _RESOLUTIONS_SEEN:
+        return
+    _RESOLUTIONS_SEEN.add(key)
+    metric(
+        f"{kind}_resolved:{choice}",
+        "obs",
+        unit="runs",
+        doc=f"{kind} resolved to {choice!r} at least once this process",
+    )
+    RUNTIME.bump(f"{kind}_resolved:{choice}")
+
+
 def describe(names: Iterable[str]) -> str:
     """A small plaintext glossary for *names* (reports, docs, --help)."""
     lines = []

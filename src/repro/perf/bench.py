@@ -4,25 +4,30 @@ Measures (1) SC-execution enumeration over the litmus corpus — default
 engine (POR + memo + copy-on-write prefixes) vs the naive full-clone
 oracle — (2) full-corpus race classification under all three models —
 bitset relations + execution-class dedup vs the pair-set per-execution
-oracle (the ``relcheck`` section) — (3) a scaled Figure-3 sweep — serial
-vs process-pool parallel — (4) the trace-compiled simulator engine vs
-the reference interpreter on a cold sweep — (5) the result cache — cold
-(populating) vs fully warm sweep and corpus enumerations, in a
-throwaway cache directory — and (6) the observability layer's overhead
-— untraced vs no-op tracer vs fully enabled tracer on one simulation —
-and writes a ``BENCH_<date>.json`` record so future PRs have a perf
-trajectory to compare against.
+oracle, with the tiled-numpy backend alongside when numpy is importable,
+plus a large-universe transitive-closure kernel where the tiled backend
+is the point (the ``relcheck`` section) — (3) a scaled Figure-3 sweep —
+serial vs process-pool parallel — (4) the trace-compiled and
+numpy-vectorized simulator engines vs the reference interpreter on a
+cold sweep — (5) the result cache — cold (populating) vs fully warm
+sweep and corpus enumerations, in a throwaway cache directory — and (6)
+the observability layer's overhead — untraced vs no-op tracer vs fully
+enabled tracer on one simulation — and writes a ``BENCH_<date>.json``
+record so future PRs have a perf trajectory to compare against.
 
 The measurements double as correctness checks: the enumeration bench
 asserts the two engines produce the same execution sets, the relcheck
-bench asserts verdicts and race witnesses are identical between relation
-backends (and that early-exit reproduces every verdict), and the sweep
-and simgen benches assert their CSV artifacts are byte-identical
-(parallel vs serial; compiled vs reference).
+bench asserts verdicts and race witnesses are identical between all
+relation backends (and that early-exit reproduces every verdict), and
+the sweep and simgen benches assert their CSV artifacts are
+byte-identical (parallel vs serial; compiled and vectorized vs
+reference).
 
 Run ``python -m repro bench [--scale S] [--jobs N] [--repeat R]
-[--out DIR] [--quick]`` (``python -m repro.perf.bench`` is a deprecated
-alias).
+[--out DIR] [--quick] [--section S[,S...]]`` (``python -m
+repro.perf.bench`` is a deprecated alias).  ``--section`` restricts the
+run to a comma-separated subset of ``enumeration``, ``relcheck``,
+``sweep``, ``simgen``, ``cache``, ``tracing``.
 """
 
 from __future__ import annotations
@@ -287,48 +292,59 @@ def bench_simgen(
     names: Sequence[str] = MICRO_NAMES,
     repeat: int = 3,
 ) -> Dict:
-    """Time the compiled (trace-compiled) simulator engine against the
-    reference interpreter on a cold sweep, tracer off.
+    """Time the fast simulator engines against the reference interpreter
+    on a cold sweep, tracer off.
 
-    Engines are interleaved per workload and the best of *repeat* rounds
-    is kept on each side, so host noise hits both equally.  The compiled
-    rounds include ahead-of-time lowering (the per-process kernel memo
-    is smaller than the workload set, so every round re-compiles) — this
-    is the cold cost a figure regeneration actually pays.  Also asserts
-    the two engines' figure CSVs are byte-identical; a fast path that
-    drifted from the reference semantics would be measuring the wrong
-    simulator.
+    Two (with numpy, three) sides: the reference interpreter, the
+    trace-compiled engine, and — when numpy is importable — the
+    numpy-vectorized engine.  Engines are interleaved per workload and
+    the best of *repeat* rounds is kept on each side, so host noise hits
+    all equally.  The fast-engine rounds include ahead-of-time lowering
+    (the per-process kernel memo is smaller than the workload set, so
+    every round re-compiles) — this is the cold cost a figure
+    regeneration actually pays.  Also asserts every engine's figure CSVs
+    are byte-identical to the reference; a fast path that drifted from
+    the reference semantics would be measuring the wrong simulator.
+
+    The vectorized engine's headroom over compiled is structurally
+    modest (~1.1x): bit-identity pins the scalar event order, so numpy
+    only accelerates the ahead-of-time lowering and the per-op operand
+    fetch, not the event loop itself (see ``docs/performance.md``).
+    Its headline target is vs the reference interpreter.
     """
-    best_ref: Dict[str, float] = {}
-    best_comp: Dict[str, float] = {}
+    from repro.sim.vectorize import available as vectorize_available
+
+    engines = ["reference", "compiled"]
+    if vectorize_available():
+        engines.append("vectorized")
+    best: Dict[str, Dict[str, float]] = {e: {} for e in engines}
     for _ in range(max(1, repeat)):
         for name in names:
-            t0 = time.perf_counter()
-            run_sweep([name], scale=scale, engine="reference")
-            elapsed = time.perf_counter() - t0
-            if name not in best_ref or elapsed < best_ref[name]:
-                best_ref[name] = elapsed
-            t0 = time.perf_counter()
-            run_sweep([name], scale=scale, engine="compiled")
-            elapsed = time.perf_counter() - t0
-            if name not in best_comp or elapsed < best_comp[name]:
-                best_comp[name] = elapsed
+            for engine in engines:
+                t0 = time.perf_counter()
+                run_sweep([name], scale=scale, engine=engine)
+                elapsed = time.perf_counter() - t0
+                if name not in best[engine] or elapsed < best[engine][name]:
+                    best[engine][name] = elapsed
 
-    reference = run_sweep(names, scale=scale, engine="reference")
-    compiled = run_sweep(names, scale=scale, engine="compiled")
-    identical = (
-        time_csv(reference) == time_csv(compiled)
-        and energy_csv(reference) == energy_csv(compiled)
+    sweeps = {e: run_sweep(names, scale=scale, engine=e) for e in engines}
+    reference = sweeps["reference"]
+    identical = all(
+        time_csv(reference) == time_csv(sweeps[e])
+        and energy_csv(reference) == energy_csv(sweeps[e])
+        for e in engines[1:]
     )
     if not identical:
-        raise AssertionError("compiled-engine sweep CSVs differ from reference")
+        raise AssertionError("fast-engine sweep CSVs differ from reference")
 
-    wall_ref = sum(best_ref.values())
-    wall_comp = sum(best_comp.values())
-    return {
+    walls = {e: sum(best[e].values()) for e in engines}
+    wall_ref = walls["reference"]
+    wall_comp = walls["compiled"]
+    record = {
         "workloads": list(names),
         "scale": scale,
         "repeat": repeat,
+        "engines": engines,
         "simulations": len(names) * 6,
         "wall_s_reference": wall_ref,
         "wall_s_compiled": wall_comp,
@@ -338,15 +354,25 @@ def bench_simgen(
         "per_workload": [
             {
                 "workload": name,
-                "wall_s_reference": best_ref[name],
-                "wall_s_compiled": best_comp[name],
-                "speedup": best_ref[name] / best_comp[name]
-                if best_comp[name] > 0
+                **{f"wall_s_{e}": best[e][name] for e in engines},
+                "speedup": best["reference"][name] / best["compiled"][name]
+                if best["compiled"][name] > 0
                 else float("inf"),
             }
             for name in names
         ],
     }
+    if "vectorized" in engines:
+        wall_vec = walls["vectorized"]
+        record["wall_s_vectorized"] = wall_vec
+        record["speedup_vectorized"] = (
+            wall_ref / wall_vec if wall_vec > 0 else float("inf")
+        )
+        record["speedup_vectorized_vs_compiled"] = (
+            wall_comp / wall_vec if wall_vec > 0 else float("inf")
+        )
+        record["target_speedup_vectorized"] = 2.5
+    return record
 
 
 def bench_tracing(
@@ -413,26 +439,92 @@ def bench_tracing(
     }
 
 
+def _bench_closure_kernel(n: int = 1536, repeat: int = 3) -> Dict:
+    """Time general transitive closure at a universe size litmus tests
+    never reach — the regime the tiled numpy backend exists for.
+
+    A deterministic sparse random digraph over *n* elements (two edges
+    per node in expectation — past the percolation threshold, so a giant
+    strongly-connected component forms and the bit-Warshall blocks all
+    do work) is closed under both indexed backends; the closures must
+    agree row-for-row.  Target: numpy >=3x over per-row Python-int
+    dense.
+    """
+    import random
+
+    from repro.core.relations import EventIndex, numpy_available
+
+    rng = random.Random(7)
+    pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)
+    ]
+    index = EventIndex(range(n))
+    dense = index.relation(pairs)
+
+    best: Dict[str, float] = {}
+    closures: Dict[str, Tuple[int, ...]] = {}
+    sides = [("dense", dense)]
+    if numpy_available():
+        sides.append(("numpy", index.numpy_relation(pairs)))
+    for _ in range(max(1, repeat)):
+        for variant, rel in sides:
+            t0 = time.perf_counter()
+            closed = rel.transitive_closure()
+            elapsed = time.perf_counter() - t0
+            if variant not in best or elapsed < best[variant]:
+                best[variant] = elapsed
+            closures[variant] = tuple(closed.rows)
+
+    identical = len(set(closures.values())) == 1
+    if not identical:
+        raise AssertionError(
+            "large-universe closures differ between indexed backends"
+        )
+    record = {
+        "n_elements": n,
+        "edges": len(set(pairs)),
+        "repeat": repeat,
+        "wall_s_dense": best["dense"],
+        "numpy": "numpy" in best,
+        "identical": identical,
+        "target_speedup": 3.0,
+    }
+    if "numpy" in best:
+        record["wall_s_numpy"] = best["numpy"]
+        record["speedup"] = (
+            best["dense"] / best["numpy"]
+            if best["numpy"] > 0
+            else float("inf")
+        )
+    return record
+
+
 def bench_relcheck(
     models: Sequence[str] = ("drf0", "drf1", "drfrlx"),
     repeat: int = 3,
 ) -> Dict:
     """Time race classification over the full corpus: bitset relations +
-    execution-class dedup vs the pair-set per-execution oracle.
+    execution-class dedup vs the pair-set per-execution oracle, with the
+    tiled numpy backend as a third side when numpy is importable.
 
     This isolates the phase the relational kernel optimizes — the
     analysis half of :func:`repro.core.model.check` — against shared
     pre-built enumerations (enumeration itself is the ``enumeration``
     section's subject).  Every corpus program is classified under all
-    three models.  The two variants are interleaved and the best of
-    *repeat* rounds kept per check, so host noise hits both equally.
+    three models.  The variants are interleaved and the best of
+    *repeat* rounds kept per check, so host noise hits all equally.
 
     Doubles as the backend-equivalence oracle check: verdicts and the
     full ``(execution index, race)`` witness sequences must be identical
-    between the variants, and the early-exit mode must reproduce every
-    verdict.  Target: >=3x overall.
+    between every variant, and the early-exit mode must reproduce every
+    verdict.  Target: >=3x overall for dense vs pairs.  On these
+    litmus-sized universes the numpy backend's per-call overhead
+    dominates (which is why ``auto`` keeps dense below
+    ``DENSE_MAX_ELEMENTS``); the ``large_universe`` sub-record times the
+    closure kernel at the scale the tiled backend targets.
     """
     from repro.core.model import _prepare, classify_enumeration
+    from repro.core.relations import numpy_available
 
     tasks = []
     for name, program in _corpus_programs():
@@ -441,10 +533,12 @@ def bench_relcheck(
             enum = enumerate_sc_executions(prepared)
             tasks.append((name, model, enum))
 
-    variants = (
+    variants = [
         ("pairs", {"backend": "pairs", "dedup": False}),
         ("dense", {"backend": "dense", "dedup": True}),
-    )
+    ]
+    if numpy_available():
+        variants.append(("numpy", {"backend": "numpy", "dedup": True}))
     best: Dict[Tuple[str, str], float] = {}
     outputs: Dict[Tuple[str, str], Tuple] = {}
     stats: Dict[str, Tuple[int, int, int]] = {}
@@ -473,11 +567,12 @@ def bench_relcheck(
     for name, model, enum in tasks:
         check_id = f"{name}:{model}"
         oracle = outputs[(check_id, "pairs")]
-        dense = outputs[(check_id, "dense")]
-        if bool(oracle) != bool(dense):
-            verdicts_ok = False
-        if oracle != dense:
-            witnesses_ok = False
+        for variant, _ in variants[1:]:
+            candidate = outputs[(check_id, variant)]
+            if bool(oracle) != bool(candidate):
+                verdicts_ok = False
+            if oracle != candidate:
+                witnesses_ok = False
         early, _, _ = classify_enumeration(
             enum, model, backend="dense", dedup=True, exhaustive=False
         )
@@ -493,26 +588,27 @@ def bench_relcheck(
 
     per_model: Dict[str, Dict[str, float]] = {}
     for model in models:
-        wall_pairs = sum(
-            t for (check_id, variant), t in best.items()
-            if variant == "pairs" and check_id.endswith(f":{model}")
-        )
-        wall_dense = sum(
-            t for (check_id, variant), t in best.items()
-            if variant == "dense" and check_id.endswith(f":{model}")
-        )
+        walls = {
+            name: sum(
+                t for (check_id, variant), t in best.items()
+                if variant == name and check_id.endswith(f":{model}")
+            )
+            for name, _ in variants
+        }
         per_model[model] = {
-            "wall_s_pairs": wall_pairs,
-            "wall_s_dense": wall_dense,
-            "speedup": wall_pairs / wall_dense if wall_dense > 0 else float("inf"),
+            **{f"wall_s_{name}": wall for name, wall in walls.items()},
+            "speedup": walls["pairs"] / walls["dense"]
+            if walls["dense"] > 0
+            else float("inf"),
         }
     wall_pairs = sum(m["wall_s_pairs"] for m in per_model.values())
     wall_dense = sum(m["wall_s_dense"] for m in per_model.values())
-    return {
+    record = {
         "programs": len({check_id.rsplit(":", 1)[0] for check_id, _ in best}),
         "models": list(models),
         "checks": len(tasks),
         "repeat": repeat,
+        "backends": [name for name, _ in variants],
         "executions": sum(n for n, _, _ in stats.values()),
         "execution_classes": sum(c for _, c, _ in stats.values()),
         "analyses_run": sum(a for _, _, a in stats.values()),
@@ -524,7 +620,27 @@ def bench_relcheck(
         "witnesses_identical": witnesses_ok,
         "early_exit_identical": early_ok,
         "per_model": per_model,
+        "large_universe": _bench_closure_kernel(repeat=repeat),
     }
+    if any(name == "numpy" for name, _ in variants):
+        wall_numpy = sum(m["wall_s_numpy"] for m in per_model.values())
+        record["wall_s_numpy"] = wall_numpy
+        record["speedup_numpy"] = (
+            wall_pairs / wall_numpy if wall_numpy > 0 else float("inf")
+        )
+    return record
+
+
+#: The sections ``run_bench`` knows, in run order.
+SECTIONS = ("enumeration", "relcheck", "sweep", "simgen", "cache", "tracing")
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
 
 
 def run_bench(
@@ -536,33 +652,53 @@ def run_bench(
     enum_programs: Optional[Sequence[Tuple[str, Program]]] = None,
     stress: bool = True,
     engine: str = "auto",
+    sections: Optional[Sequence[str]] = None,
 ) -> str:
-    """Run all benchmarks and write ``BENCH_<date>.json``; returns the path.
+    """Run the benchmarks and write ``BENCH_<date>.json``; returns the path.
 
     ``engine`` selects the simulator engine for the sweep section
-    (serial vs parallel); the simgen section always compares both
-    engines regardless.
+    (serial vs parallel); the simgen section always compares every
+    engine regardless.  ``sections`` restricts the run to a subset of
+    :data:`SECTIONS` (the CLI's ``--section relcheck,simgen``); unknown
+    names raise with the allowed set.
     """
+    if sections is None:
+        sections = SECTIONS
+    else:
+        unknown = [s for s in sections if s not in SECTIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown bench section(s) {unknown!r}; "
+                f"expected a subset of {SECTIONS}"
+            )
+    runners = {
+        "enumeration": lambda: bench_enumeration(
+            programs=enum_programs, repeat=repeat, stress=stress
+        ),
+        "relcheck": lambda: bench_relcheck(repeat=repeat),
+        "sweep": lambda: bench_sweep(
+            scale=scale, jobs=jobs, names=sweep_names, engine=engine
+        ),
+        "simgen": lambda: bench_simgen(
+            scale=scale, names=sweep_names, repeat=repeat
+        ),
+        "cache": lambda: bench_cache(scale=scale, names=sweep_names),
+        "tracing": lambda: bench_tracing(
+            scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
+        ),
+    }
     record = {
         "date": date.today().isoformat(),
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
+            "numpy": _numpy_version(),
             "platform": platform.platform(),
         },
-        "enumeration": bench_enumeration(
-            programs=enum_programs, repeat=repeat, stress=stress
-        ),
-        "relcheck": bench_relcheck(repeat=repeat),
-        "sweep": bench_sweep(
-            scale=scale, jobs=jobs, names=sweep_names, engine=engine
-        ),
-        "simgen": bench_simgen(scale=scale, names=sweep_names, repeat=repeat),
-        "cache": bench_cache(scale=scale, names=sweep_names),
-        "tracing": bench_tracing(
-            scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
-        ),
     }
+    for section in SECTIONS:
+        if section in sections:
+            record[section] = runners[section]()
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(
         out_dir, f"BENCH_{date.today().strftime('%Y%m%d')}.json"
@@ -576,35 +712,52 @@ def run_bench(
 def summarize(record: Dict) -> str:
     """One line per benchmark section of a ``BENCH_<date>.json`` record."""
     lines: List[str] = []
-    enum = record["enumeration"]
-    sweep = record["sweep"]
-    lines.append(
-        f"enumeration: {enum['programs']} programs, "
-        f"{enum['wall_s_naive']*1000:.1f}ms naive -> "
-        f"{enum['wall_s_default']*1000:.1f}ms default "
-        f"({enum['speedup']:.2f}x; paths {enum['paths_naive']} -> "
-        f"{enum['paths_default']}, por_pruned={enum['por_pruned']}, "
-        f"memo_hits={enum['memo_hits']})"
-    )
+    enum = record.get("enumeration")
+    if enum:
+        lines.append(
+            f"enumeration: {enum['programs']} programs, "
+            f"{enum['wall_s_naive']*1000:.1f}ms naive -> "
+            f"{enum['wall_s_default']*1000:.1f}ms default "
+            f"({enum['speedup']:.2f}x; paths {enum['paths_naive']} -> "
+            f"{enum['paths_default']}, por_pruned={enum['por_pruned']}, "
+            f"memo_hits={enum['memo_hits']})"
+        )
     relcheck = record.get("relcheck")
     if relcheck:
+        numpy_note = ""
+        if "wall_s_numpy" in relcheck:
+            numpy_note = (
+                f", {relcheck['wall_s_numpy']*1000:.1f}ms numpy"
+            )
         lines.append(
             f"relcheck: {relcheck['checks']} checks "
             f"({relcheck['executions']} executions -> "
             f"{relcheck['execution_classes']} classes), "
             f"{relcheck['wall_s_pairs']*1000:.1f}ms pairs -> "
-            f"{relcheck['wall_s_dense']*1000:.1f}ms dense+dedup "
+            f"{relcheck['wall_s_dense']*1000:.1f}ms dense+dedup"
+            f"{numpy_note} "
             f"({relcheck['speedup']:.2f}x, "
             f"target >={relcheck['target_speedup']:.1f}x; "
             f"witnesses identical: {relcheck['witnesses_identical']})"
         )
-    if sweep.get("serial_fallback"):
+        big = relcheck.get("large_universe")
+        if big and "speedup" in big:
+            lines.append(
+                f"relcheck/large-universe: closure at n={big['n_elements']}, "
+                f"{big['wall_s_dense']*1000:.1f}ms dense -> "
+                f"{big['wall_s_numpy']*1000:.1f}ms numpy "
+                f"({big['speedup']:.2f}x, "
+                f"target >={big['target_speedup']:.1f}x; "
+                f"identical: {big['identical']})"
+            )
+    sweep = record.get("sweep")
+    if sweep and sweep.get("serial_fallback"):
         lines.append(
             f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
             f"{sweep['wall_s_serial']:.2f}s serial (auto serial fallback; "
             f"csv identical: {sweep['csv_identical']})"
         )
-    else:
+    elif sweep:
         lines.append(
             f"sweep: {sweep['simulations']} sims at scale {sweep['scale']}, "
             f"{sweep['wall_s_serial']:.2f}s serial -> "
@@ -613,12 +766,20 @@ def summarize(record: Dict) -> str:
         )
     simgen = record.get("simgen")
     if simgen:
+        vec_note = ""
+        if "wall_s_vectorized" in simgen:
+            vec_note = (
+                f" -> {simgen['wall_s_vectorized']:.2f}s vectorized "
+                f"({simgen['speedup_vectorized']:.2f}x ref, "
+                f"{simgen['speedup_vectorized_vs_compiled']:.2f}x compiled)"
+            )
         lines.append(
             f"simgen: {simgen['simulations']} sims at scale {simgen['scale']}, "
             f"{simgen['wall_s_reference']:.2f}s reference -> "
             f"{simgen['wall_s_compiled']:.2f}s compiled "
             f"({simgen['speedup']:.2f}x, "
-            f"target >={simgen['target_speedup']:.1f}x; "
+            f"target >={simgen['target_speedup']:.1f}x"
+            f"{vec_note}; "
             f"csv identical: {simgen['csv_identical']})"
         )
     cache = record.get("cache")

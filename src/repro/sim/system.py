@@ -22,12 +22,14 @@ from repro.sim.trace import Kernel, Phase
 #: grid-wide join), identical across configurations.
 GLOBAL_BARRIER_CYCLES = 200.0
 
-#: Execution engines: "auto" picks the compiled fast path unless a live
-#: tracer is attached (the fast path carries no instrumentation);
-#: "compiled" / "reference" force the choice.  Both produce identical
-#: results — the reference interpreter is the oracle the compiled engine
-#: is tested against.
-ENGINES = ("auto", "compiled", "reference")
+#: Execution engines: "auto" picks the numpy-lowered vectorized fast
+#: path when numpy is importable, the compiled fast path otherwise —
+#: unless a live tracer is attached (the fast paths carry no
+#: instrumentation, so tracing keeps the reference interpreter);
+#: "vectorized" / "compiled" / "reference" force the choice.  All three
+#: produce identical results — the reference interpreter is the oracle
+#: the fast paths are tested against.
+ENGINES = ("auto", "compiled", "vectorized", "reference")
 
 CONFIG_ABBREV = {
     ("gpu", "drf0"): "GD0",
@@ -96,17 +98,42 @@ class System:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if engine == "auto":
-            engine = "reference" if self.tracer.enabled else "compiled"
-        elif engine == "compiled" and self.tracer.enabled:
-            # Live tracing keeps the instrumented interpreter: the
-            # compiled stepper has no per-event emission points.
-            engine = "reference"
-        if engine == "compiled":
-            from repro.sim.compile import compile_kernel, run_compiled
+            if self.tracer.enabled:
+                engine = "reference"
+            else:
+                from repro.sim.vectorize import available
 
-            if compiled is None:
-                compiled = compile_kernel(kernel, self.config)
-            cycles, phase_cycles = run_compiled(self, kernel, compiled)
+                engine = "vectorized" if available() else "compiled"
+        elif engine in ("compiled", "vectorized") and self.tracer.enabled:
+            # Live tracing keeps the instrumented interpreter: the fast
+            # steppers have no per-event emission points.
+            engine = "reference"
+        from repro.obs.metrics import record_resolution
+
+        record_resolution("sim_engine", engine)
+        if engine in ("compiled", "vectorized"):
+            from repro.sim.compile import compile_kernel, run_compiled
+            from repro.sim.vectorize import (
+                VectorizedKernel, run_vectorized, vectorize_kernel,
+            )
+
+            # ``compiled`` may carry either fast form; each engine
+            # unwraps or lifts as needed, so callers can reuse one
+            # pre-built object across engines.
+            if engine == "vectorized":
+                if isinstance(compiled, VectorizedKernel):
+                    vectorized = compiled
+                else:
+                    if compiled is None:
+                        compiled = compile_kernel(kernel, self.config)
+                    vectorized = vectorize_kernel(compiled)
+                cycles, phase_cycles = run_vectorized(self, kernel, vectorized)
+            else:
+                if isinstance(compiled, VectorizedKernel):
+                    compiled = compiled.compiled
+                elif compiled is None:
+                    compiled = compile_kernel(kernel, self.config)
+                cycles, phase_cycles = run_compiled(self, kernel, compiled)
             return RunResult(
                 workload=kernel.name,
                 protocol=self.protocol_name,

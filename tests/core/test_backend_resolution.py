@@ -1,0 +1,118 @@
+"""Backend resolution: ``resolve_backend`` argument/environment
+handling, the one-time observability counters, and the no-numpy
+degradation paths (simulated by clearing the module's captured numpy
+handle — the same state an import failure leaves behind).
+"""
+
+import pytest
+
+import repro.core.relations as relations
+from repro.core.relations import (
+    BACKENDS,
+    DENSE_MAX_ELEMENTS,
+    NumpyRelation,
+    numpy_available,
+    resolve_backend,
+)
+from repro.obs import metrics
+
+
+class TestResolveBackend:
+    def test_explicit_choices_pass_through(self):
+        assert resolve_backend("dense") == "dense"
+        assert resolve_backend("pairs") == "pairs"
+
+    def test_auto_small_universe_is_dense(self):
+        assert resolve_backend("auto", n_elements=8) == "dense"
+        assert resolve_backend(None, n_elements=DENSE_MAX_ELEMENTS) == "dense"
+
+    def test_auto_no_size_is_dense(self):
+        assert resolve_backend(None) == "dense"
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_auto_large_universe_is_numpy(self):
+        assert (
+            resolve_backend("auto", n_elements=DENSE_MAX_ELEMENTS + 1)
+            == "numpy"
+        )
+
+    def test_unknown_argument_raises_with_allowed_set(self):
+        with pytest.raises(ValueError) as err:
+            resolve_backend("bitvector")
+        message = str(err.value)
+        assert "bitvector" in message
+        for allowed in BACKENDS:
+            assert allowed in message
+
+    def test_unknown_env_value_raises_and_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(relations.BACKEND_ENV, "bogus")
+        with pytest.raises(ValueError) as err:
+            resolve_backend(None)
+        message = str(err.value)
+        assert "bogus" in message
+        assert relations.BACKEND_ENV in message
+
+    def test_env_override_applies_to_auto(self, monkeypatch):
+        monkeypatch.setenv(relations.BACKEND_ENV, "pairs")
+        assert resolve_backend(None, n_elements=4) == "pairs"
+        assert resolve_backend("auto") == "pairs"
+        # An explicit argument beats the environment.
+        assert resolve_backend("dense") == "dense"
+
+
+class TestWithoutNumpy:
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(relations, "_np", None)
+
+    def test_available_reports_false(self, no_numpy):
+        assert not numpy_available()
+
+    def test_auto_large_universe_falls_back_to_pairs(self, no_numpy):
+        assert (
+            resolve_backend("auto", n_elements=DENSE_MAX_ELEMENTS + 1)
+            == "pairs"
+        )
+        assert resolve_backend("auto", n_elements=8) == "dense"
+
+    def test_explicit_numpy_raises_actionable_error(self, no_numpy):
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_backend("numpy")
+
+    def test_env_numpy_raises_actionable_error(self, no_numpy, monkeypatch):
+        monkeypatch.setenv(relations.BACKEND_ENV, "numpy")
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_backend(None)
+
+    def test_numpy_relation_construction_raises(self, no_numpy):
+        from repro.core.relations import EventIndex
+
+        with pytest.raises(RuntimeError, match="numpy"):
+            NumpyRelation(EventIndex(range(2)), [[0], [0]])
+
+    def test_model_check_still_works(self, no_numpy):
+        from repro.core.model import check
+        from repro.litmus.library import get as get_litmus
+
+        result = check(get_litmus("mp_paired").program, "drf0")
+        assert result.legal
+
+
+class TestResolutionMetrics:
+    def test_resolution_recorded_once_per_choice(self):
+        before = metrics.RUNTIME.get("relation_backend_resolved:dense")
+        resolve_backend("dense")
+        after_first = metrics.RUNTIME.get("relation_backend_resolved:dense")
+        resolve_backend("dense")
+        resolve_backend("dense")
+        after_more = metrics.RUNTIME.get("relation_backend_resolved:dense")
+        # Recorded at most once per process, never per call.
+        assert after_first in (before, 1.0)
+        assert after_more == after_first
+
+    def test_record_resolution_is_idempotent(self):
+        metrics.record_resolution("sim_engine", "test-choice")
+        first = metrics.RUNTIME.get("sim_engine_resolved:test-choice")
+        metrics.record_resolution("sim_engine", "test-choice")
+        assert metrics.RUNTIME.get("sim_engine_resolved:test-choice") == first
+        assert first == 1.0

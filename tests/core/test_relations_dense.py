@@ -1,26 +1,50 @@
-"""Property-based equivalence of the dense bitset backend against the
+"""Property-based equivalence of the indexed backends against the
 pair-set oracle.
 
 Every operator of the relational algebra is driven through identical
-random operand sequences in both backends; the results must agree
-pair-for-pair.  Element universes go up to 64 events, past the
-single-machine-word boundary, so multi-word Python-int rows are covered.
+random operand sequences in every backend — the per-row Python-int dense
+bitsets, the tiled-uint64 numpy bit-matrices (when numpy is importable),
+and the frozenset oracle; the results must agree pair-for-pair.  Element
+universes go up to 64 events in the operator sweep (past the
+single-machine-word boundary, so multi-word Python-int rows are covered)
+and past 64 in the tile-boundary sweep, so multi-tile numpy rows with a
+ragged tail word are covered too.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.relations import DenseRelation, EventIndex, Relation
+from repro.core.relations import (
+    DenseRelation,
+    EventIndex,
+    NumpyRelation,
+    Relation,
+    numpy_available,
+)
 
 #: A universe of up to 64 interned elements; pairs index into it.
 universe_st = st.integers(min_value=2, max_value=64)
 
+#: Universes crossing the 64-bit tile boundary (two or three tile words,
+#: with a partially-filled tail word in almost every draw).
+wide_universe_st = st.integers(min_value=65, max_value=160)
+
+#: The indexed backends under test; the numpy side only when importable.
+INDEXED = ("dense",) + (("numpy",) if numpy_available() else ())
+
+BUILDERS = {
+    "dense": lambda index, pairs: index.relation(pairs),
+    "numpy": lambda index, pairs: index.numpy_relation(pairs),
+}
+
+TYPES = {"dense": DenseRelation, "numpy": NumpyRelation}
+
 
 @st.composite
-def indexed_pairs(draw, n_relations=1):
+def indexed_pairs(draw, n_relations=1, universe=universe_st):
     """A universe size plus *n_relations* random pair sets over it."""
-    n = draw(universe_st)
+    n = draw(universe)
     pair_st = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
     rels = tuple(
         draw(st.frozensets(pair_st, max_size=3 * n)) for _ in range(n_relations)
@@ -28,139 +52,204 @@ def indexed_pairs(draw, n_relations=1):
     return n, rels
 
 
-def both(n, pairs):
-    """The same relation in both backends."""
+def both(n, pairs, backend):
+    """The same relation in *backend* and the pair-set oracle."""
     index = EventIndex(range(n))
-    return index.relation(pairs), Relation(pairs)
+    return BUILDERS[backend](index, pairs), Relation(pairs)
 
 
-def agree(dense, oracle):
-    assert isinstance(dense, DenseRelation)
-    assert dense.pairs == oracle.pairs
-    assert dense == oracle  # cross-backend __eq__
-    assert len(dense) == len(oracle)
-    assert bool(dense) == bool(oracle)
+def agree(fast, oracle, backend):
+    assert isinstance(fast, TYPES[backend])
+    assert fast.pairs == oracle.pairs
+    assert fast == oracle  # cross-backend __eq__
+    assert len(fast) == len(oracle)
+    assert bool(fast) == bool(oracle)
 
 
+@pytest.mark.parametrize("backend", INDEXED)
 class TestOperatorEquivalence:
-    @given(indexed_pairs(2))
+    @given(case=indexed_pairs(2))
     @settings(max_examples=80, deadline=None)
-    def test_union_intersection_difference(self, case):
+    def test_union_intersection_difference(self, backend, case):
         n, (p, q) = case
-        da, oa = both(n, p)
-        db, ob = both(n, q)
-        agree(da | db, oa | ob)
-        agree(da & db, oa & ob)
-        agree(da - db, oa - ob)
+        da, oa = both(n, p, backend)
+        db, ob = both(n, q, backend)
+        agree(da | db, oa | ob, backend)
+        agree(da & db, oa & ob, backend)
+        agree(da - db, oa - ob, backend)
 
-    @given(indexed_pairs(2))
+    @given(case=indexed_pairs(2))
     @settings(max_examples=80, deadline=None)
-    def test_compose(self, case):
+    def test_compose(self, backend, case):
         n, (p, q) = case
-        da, oa = both(n, p)
-        db, ob = both(n, q)
+        da, oa = both(n, p, backend)
+        db, ob = both(n, q, backend)
         assert da.compose(db).pairs == oa.compose(ob).pairs
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_inverse(self, case):
+    def test_inverse(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        agree(dense.inverse(), oracle.inverse())
+        fast, oracle = both(n, p, backend)
+        agree(fast.inverse(), oracle.inverse(), backend)
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_transitive_closure(self, case):
+    def test_transitive_closure(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        agree(dense.transitive_closure(), oracle.transitive_closure())
+        fast, oracle = both(n, p, backend)
+        agree(fast.transitive_closure(), oracle.transitive_closure(), backend)
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_closure_of_forward_dag(self, case):
+    def test_closure_of_forward_dag(self, backend, case):
         # The DAG fast path: all edges point id-forward.
         n, (p,) = case
         forward = frozenset((a, b) for a, b in p if a < b)
-        dense, oracle = both(n, forward)
-        agree(dense.transitive_closure(), oracle.transitive_closure())
+        fast, oracle = both(n, forward, backend)
+        agree(fast.transitive_closure(), oracle.transitive_closure(), backend)
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_is_acyclic(self, case):
+    def test_is_acyclic(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        assert dense.is_acyclic() == oracle.is_acyclic()
+        fast, oracle = both(n, p, backend)
+        assert fast.is_acyclic() == oracle.is_acyclic()
 
-    @given(indexed_pairs(), st.sets(st.integers(0, 63), max_size=16),
-           st.sets(st.integers(0, 63), max_size=16))
+    @given(case=indexed_pairs(), first=st.sets(st.integers(0, 63), max_size=16),
+           second=st.sets(st.integers(0, 63), max_size=16))
     @settings(max_examples=80, deadline=None)
-    def test_restrict(self, case, first, second):
+    def test_restrict(self, backend, case, first, second):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        agree(dense.restrict(first, second), oracle.restrict(first, second))
+        fast, oracle = both(n, p, backend)
+        agree(
+            fast.restrict(first, second),
+            oracle.restrict(first, second),
+            backend,
+        )
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_domain_codomain_elements_successors(self, case):
+    def test_domain_codomain_elements_successors(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        assert dense.domain() == oracle.domain()
-        assert dense.codomain() == oracle.codomain()
-        assert dense.elements() == oracle.elements()
+        fast, oracle = both(n, p, backend)
+        assert fast.domain() == oracle.domain()
+        assert fast.codomain() == oracle.codomain()
+        assert fast.elements() == oracle.elements()
         for node in range(n):
-            assert dense.successors(node) == oracle.successors(node)
+            assert fast.successors(node) == oracle.successors(node)
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_filter(self, case):
+    def test_filter(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
+        fast, oracle = both(n, p, backend)
         pred = lambda a, b: (a + b) % 2 == 0
-        agree(dense.filter(pred), oracle.filter(pred))
+        agree(fast.filter(pred), oracle.filter(pred), backend)
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_reflexive_closure_over(self, case):
+    def test_reflexive_closure_over(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
+        fast, oracle = both(n, p, backend)
         domain = range(n)
         assert (
-            dense.reflexive_closure_over(domain).pairs
+            fast.reflexive_closure_over(domain).pairs
             == oracle.reflexive_closure_over(domain).pairs
         )
 
-    @given(indexed_pairs())
+    @given(case=indexed_pairs())
     @settings(max_examples=80, deadline=None)
-    def test_membership_and_iteration(self, case):
+    def test_membership_and_iteration(self, backend, case):
         n, (p,) = case
-        dense, oracle = both(n, p)
-        assert sorted(dense) == sorted(oracle)
+        fast, oracle = both(n, p, backend)
+        assert sorted(fast) == sorted(oracle)
         for pair in p:
-            assert pair in dense
-        assert (n, n) not in dense  # element outside the universe
+            assert pair in fast
+        assert (n, n) not in fast  # element outside the universe
+
+
+@pytest.mark.parametrize("backend", INDEXED)
+class TestTileBoundary:
+    """Universes past 64 elements: multi-tile rows with a ragged tail."""
+
+    @given(case=indexed_pairs(2, universe=wide_universe_st))
+    @settings(max_examples=30, deadline=None)
+    def test_algebra_past_one_tile(self, backend, case):
+        n, (p, q) = case
+        da, oa = both(n, p, backend)
+        db, ob = both(n, q, backend)
+        agree(da | db, oa | ob, backend)
+        agree(da & db, oa & ob, backend)
+        agree(da - db, oa - ob, backend)
+        assert da.compose(db).pairs == oa.compose(ob).pairs
+        agree(da.inverse(), oa.inverse(), backend)
+
+    @given(case=indexed_pairs(universe=wide_universe_st))
+    @settings(max_examples=20, deadline=None)
+    def test_closure_and_acyclicity_past_one_tile(self, backend, case):
+        n, (p,) = case
+        fast, oracle = both(n, p, backend)
+        agree(fast.transitive_closure(), oracle.transitive_closure(), backend)
+        assert fast.is_acyclic() == oracle.is_acyclic()
+
+    @pytest.mark.parametrize("n", (65, 128, 129))
+    def test_empty_relation(self, backend, n):
+        fast, oracle = both(n, frozenset(), backend)
+        agree(fast, oracle, backend)
+        agree(fast.transitive_closure(), oracle, backend)
+        assert fast.is_acyclic()
+        assert not fast.domain()
+
+    @pytest.mark.parametrize("n", (65, 130))
+    def test_full_relation(self, backend, n):
+        full = frozenset((a, b) for a in range(n) for b in range(n))
+        fast, oracle = both(n, full, backend)
+        agree(fast, oracle, backend)
+        agree(fast.transitive_closure(), oracle, backend)
+        assert not fast.is_acyclic()
+        agree(fast.inverse(), oracle, backend)
+        assert fast.compose(fast).pairs == full
 
 
 class TestOperatorSequences:
-    """Identical multi-step operator pipelines in both backends."""
+    """Identical multi-step operator pipelines in every backend."""
 
-    @given(indexed_pairs(3))
+    @pytest.mark.parametrize("backend", INDEXED)
+    @given(case=indexed_pairs(3))
     @settings(max_examples=60, deadline=None)
-    def test_closure_of_union_minus_compose(self, case):
+    def test_closure_of_union_minus_compose(self, backend, case):
         n, (p, q, r) = case
-        dp, op_ = both(n, p)
-        dq, oq = both(n, q)
-        dr, or_ = both(n, r)
-        dense = ((dp | dq).transitive_closure() - dr.compose(dp)).inverse()
+        dp, op_ = both(n, p, backend)
+        dq, oq = both(n, q, backend)
+        dr, or_ = both(n, r, backend)
+        fast = ((dp | dq).transitive_closure() - dr.compose(dp)).inverse()
         oracle = ((op_ | oq).transitive_closure() - or_.compose(op_)).inverse()
-        assert dense.pairs == oracle.pairs
+        assert fast.pairs == oracle.pairs
 
-    @given(indexed_pairs(2))
+    @pytest.mark.parametrize("backend", INDEXED)
+    @given(case=indexed_pairs(2))
     @settings(max_examples=60, deadline=None)
-    def test_acyclicity_of_combined(self, case):
+    def test_acyclicity_of_combined(self, backend, case):
         n, (p, q) = case
-        dp, op_ = both(n, p)
-        dq, oq = both(n, q)
+        dp, op_ = both(n, p, backend)
+        dq, oq = both(n, q, backend)
         assert (dp | dq).is_acyclic() == (op_ | oq).is_acyclic()
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    @given(case=indexed_pairs(2))
+    @settings(max_examples=40, deadline=None)
+    def test_dense_and_numpy_mix(self, case):
+        """Dense and numpy relations over the same index interoperate
+        (the set algebra coerces through the shared rows view)."""
+        n, (p, q) = case
+        index = EventIndex(range(n))
+        dense = index.relation(p)
+        tiled = index.numpy_relation(q)
+        oracle = Relation(p) | Relation(q)
+        assert (dense | tiled).pairs == oracle.pairs
+        assert (tiled | dense).pairs == oracle.pairs
+        assert (dense & tiled).pairs == (Relation(p) & Relation(q)).pairs
 
 
 class TestEventIndex:

@@ -75,14 +75,14 @@ def test_sweep_csvs_byte_identical_across_engines():
 
 def test_run_sweep_rejects_unknown_engine():
     with pytest.raises(ValueError, match="engine"):
-        run_sweep(("SC",), scale=SCALE, engine="vectorized")
+        run_sweep(("SC",), scale=SCALE, engine="jit")
 
 
 def test_system_rejects_unknown_engine():
     kernel = get("SC").build(INTEGRATED, SCALE)
     with pytest.raises(ValueError, match="engine"):
         System("gpu", "drf0", INTEGRATED).run(kernel, engine="jit")
-    assert set(ENGINES) == {"auto", "compiled", "reference"}
+    assert set(ENGINES) == {"auto", "compiled", "vectorized", "reference"}
 
 
 def test_live_tracer_forces_reference_fallback():
