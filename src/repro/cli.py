@@ -11,13 +11,24 @@ Subcommands:
 - ``trace`` — record one simulation or one litmus enumeration to JSONL
   and Chrome ``trace_event`` files (see :mod:`repro.obs`);
 - ``litmus`` — check one library litmus test against all three models
-  (or list the library).
+  (or list the library);
+- ``serve`` — run the checker as a long-lived service speaking the v1
+  request protocol over stdin-JSONL or HTTP (see :mod:`repro.serve`
+  and ``docs/serve.md``).
 
 The shared flags ``--jobs``, ``--out`` and ``--trace`` are declared once
 here and inherited by every subcommand; ``--trace`` defaults to the
 ``REPRO_TRACE`` environment variable, so ``REPRO_TRACE=out/ python -m
 repro figures`` traces without touching the command line.  The old
 module entry points remain as thin deprecated shims that forward here.
+
+The verdict subcommands (``litmus``, ``audit``) are thin views over the
+:mod:`repro.api` façade — the same code path the service runs — and
+support ``--json``, which emits the request's v1 response envelope
+(byte-identical to what ``serve`` would answer).  Their exit codes are
+stable: ``0`` all verdicts as declared, ``1`` a verdict mismatch /
+corpus failure, ``2`` usage or request errors (unknown test, bad
+flags).
 """
 
 from __future__ import annotations
@@ -99,9 +110,9 @@ def _cli_cache(args: argparse.Namespace, default: bool = True) -> bool:
 
 def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate every table and figure artifact."""
-    from repro.eval.reporting import generate_all
+    from repro.api import generate_figures
 
-    artifacts = generate_all(
+    artifacts = generate_figures(
         out_dir=args.out or "results",
         scale=args.scale,
         jobs=args.jobs,
@@ -146,25 +157,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_audit(args: argparse.Namespace) -> int:
     """Re-check every corpus file against its declared verdicts."""
-    from repro.perf.audit import audit_corpus
+    from repro.api import audit_request, encode
 
-    failures = 0
-    for result in audit_corpus(
-        jobs=args.jobs,
-        cache=_cli_cache(args, default=True),
+    response = audit_request(
         backend=args.relation_backend,
-    ):
-        status = "ok" if result.ok else "FAIL"
-        if not result.ok:
-            failures += 1
-        detail = " ".join(
-            f"{model}={'legal' if act else 'illegal'}"
-            + ("" if exp == act else f"(expected {'legal' if exp else 'illegal'})")
-            for model, (exp, act, _) in result.verdicts.items()
+        cache=_cli_cache(args, default=True),
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(encode(response))
+        return 0 if response["ok"] and not response["result"]["failures"] else (
+            1 if response["ok"] else 2
         )
-        print(f"{status:4s} {result.name}: {detail}")
-    print(f"{failures} failure(s)")
-    return 1 if failures else 0
+    if not response["ok"]:
+        error = response["error"]
+        print(f"audit failed [{error['code']}]: {error['message']}", file=sys.stderr)
+        return 2
+    result = response["result"]
+    for entry in result["files"]:
+        status = "ok" if entry["ok"] else "FAIL"
+        detail = " ".join(
+            f"{model}={'legal' if v['actual'] else 'illegal'}"
+            + (
+                ""
+                if v["expected"] == v["actual"]
+                else f"(expected {'legal' if v['expected'] else 'illegal'})"
+            )
+            for model, v in entry["verdicts"].items()
+        )
+        print(f"{status:4s} {entry['name']}: {detail}")
+    print(f"{result['failures']} failure(s)")
+    return 1 if result["failures"] else 0
 
 
 def _write_trace_files(tracer, out_dir: str, stem: str) -> List[str]:
@@ -226,31 +249,56 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_litmus(args: argparse.Namespace) -> int:
     """Check a library litmus test (or list the library)."""
-    from repro.core.model import check, check_all_models
-    from repro.litmus.library import all_tests, get as get_litmus
+    from repro.api import check_program, encode
 
     if args.list or args.name is None:
+        from repro.litmus.library import all_tests
+
         for test in all_tests():
             print(f"{test.name:32s} {test.description}")
         return 0
-    test = get_litmus(args.name)
-    if args.model:
-        results = {
-            args.model: check(
-                test.program, args.model, backend=args.relation_backend
-            )
-        }
-    else:
-        results = check_all_models(test.program, backend=args.relation_backend)
-    mismatches = 0
-    for model, result in results.items():
-        expected = test.expected_legal.get(model)
+    response = check_program(
+        name=args.name,
+        models=[args.model] if args.model else None,
+        backend=args.relation_backend,
+        cache=_cli_cache(args, default=False),
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(encode(response))
+        if not response["ok"]:
+            return 2
+        return 1 if response["result"].get("mismatches") else 0
+    if not response["ok"]:
+        error = response["error"]
+        print(f"litmus failed [{error['code']}]: {error['message']}", file=sys.stderr)
+        return 2
+    result = response["result"]
+    expected = result.get("expected", {})
+    mismatches = set(result.get("mismatches", ()))
+    for model, payload in result["models"].items():
+        verdict = "LEGAL" if payload["legal"] else "ILLEGAL"
+        kinds = ",".join(payload["race_kinds"]) or "-"
         note = ""
-        if expected is not None and expected != result.legal:
-            note = f"  << expected {'LEGAL' if expected else 'ILLEGAL'}"
-            mismatches += 1
-        print(result.summary() + note)
+        if model in mismatches:
+            note = (
+                f"  << expected {'LEGAL' if expected[model] else 'ILLEGAL'}"
+            )
+        print(
+            f"{result['program']}: {model.upper()} {verdict} "
+            f"(races: {kinds}; {payload['executions']} SC executions)" + note
+        )
     return 1 if mismatches else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the checker service (stdin-JSONL, or HTTP with ``--http``)."""
+    from repro.serve import main_serve
+
+    _cli_cache(args, default=True)  # honor --cache-clear before booting
+    if args.cache is None:
+        args.cache = True  # a service defaults to the shared response cache
+    return main_serve(args)
 
 
 # -- parser / entry ------------------------------------------------------------
@@ -291,6 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", parents=[shared],
         help="re-check the litmus corpus against its declared verdicts",
     )
+    p.add_argument("--json", action="store_true",
+                   help="emit the v1 response envelope (one JSON line) "
+                        "instead of per-file text; exit 0 ok / 1 failures "
+                        "/ 2 request error")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
@@ -317,7 +369,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=("drf0", "drf1", "drfrlx"),
                    help="check a single model (default: all three)")
     p.add_argument("--list", action="store_true", help="list the library")
+    p.add_argument("--json", action="store_true",
+                   help="emit the v1 response envelope (one JSON line) "
+                        "instead of per-model text; exit 0 ok / 1 verdict "
+                        "mismatch / 2 request error")
     p.set_defaults(func=cmd_litmus)
+
+    p = sub.add_parser(
+        "serve", parents=[shared],
+        help="run the checker as a service: v1 JSON requests over "
+             "stdin-JSONL (default) or HTTP (--http HOST:PORT); "
+             "see docs/serve.md",
+    )
+    p.add_argument("--http", default=None, metavar="HOST:PORT",
+                   help="serve HTTP instead of stdin-JSONL (POST a request "
+                        "to any path; GET /healthz for status); port 0 "
+                        "picks a free port")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="bound on buffered requests; past it HTTP answers "
+                        "429/busy and stdin stops reading (default 64)")
+    p.add_argument("--concurrency", type=int, default=None, metavar="N",
+                   help="in-flight request cap (default: the worker count)")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -204,6 +204,7 @@ def check(
     backend: Optional[str] = None,
     dedup: bool = True,
     exhaustive: bool = True,
+    tracer=None,
 ) -> CheckResult:
     """Check *program* against one of the three models.
 
@@ -220,11 +221,15 @@ def check(
     analyzes one representative per race-relevant execution class (the
     default — verdicts and witnesses are identical either way);
     ``exhaustive=False`` stops at the first illegal race, returning at
-    most one witness (same verdict, less work on illegal programs).
+    most one witness (same verdict, less work on illegal programs);
+    ``tracer`` records the enumeration's search events (see
+    :mod:`repro.obs` — the per-request trace capture behind the
+    service's ``options.trace`` flag).
     """
     prepared = _prepare(program, model)
     enumeration = enumerate_sc_executions(
-        prepared, max_executions=max_executions, naive=naive, cache=cache
+        prepared, max_executions=max_executions, naive=naive, cache=cache,
+        tracer=tracer,
     )
     witnesses, n_classes, analyses = classify_enumeration(
         enumeration,

@@ -263,7 +263,15 @@ def _cell_key(store: ResultCache, task: _SweepTask, code: str) -> str:
     )
 
 
-def _encode_observation(obs: Observation) -> Dict:
+def encode_observation(obs: Observation) -> Dict:
+    """One sweep cell as a plain JSON-able dict.
+
+    This is the shared wire/storage codec for observations: the result
+    cache stores cells in this shape, and the v1 API/service protocol
+    (``repro.api``, ``docs/serve.md``) embeds it verbatim in sweep
+    result payloads, so cached cells and service responses round-trip
+    through the same :func:`decode_observation`.
+    """
     return {
         "workload": obs.workload,
         "config": obs.config,
@@ -272,9 +280,9 @@ def _encode_observation(obs: Observation) -> Dict:
     }
 
 
-def _decode_observation(value) -> Optional[Observation]:
-    """The cached cell back as an :class:`Observation`; ``None`` (a
-    miss) when the stored shape is not one."""
+def decode_observation(value) -> Optional[Observation]:
+    """The encoded cell back as an :class:`Observation`; ``None`` (a
+    cache miss / malformed payload) when the shape is not one."""
     try:
         return Observation(
             workload=value["workload"],
@@ -284,6 +292,11 @@ def _decode_observation(value) -> Optional[Observation]:
         )
     except (TypeError, KeyError, ValueError, AttributeError):
         return None
+
+
+# Backwards-compatible aliases (pre-API-façade private names).
+_encode_observation = encode_observation
+_decode_observation = decode_observation
 
 
 def run_sweep(

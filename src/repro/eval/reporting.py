@@ -95,6 +95,14 @@ def generate_all(
 
 def main(argv=None) -> int:
     """Deprecated shim: forwards to ``python -m repro figures``."""
+    import warnings
+
+    warnings.warn(
+        "`python -m repro.eval.reporting` is deprecated; "
+        "use `python -m repro figures` (the repro.api façade underneath)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     print(
         "note: `python -m repro.eval.reporting` is deprecated; "
         "use `python -m repro figures`",

@@ -41,6 +41,15 @@ def jsonl_lines(source: TraceSource) -> Iterable[str]:
         yield json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
 
 
+def to_dicts(source: TraceSource) -> List[Dict[str, Any]]:
+    """The trace as plain JSON-able event dicts, emission order.
+
+    The in-memory sibling of :func:`jsonl_lines` — what the checker
+    service embeds in a response when a request sets ``options.trace``.
+    """
+    return [event.as_dict() for event in _events(source)]
+
+
 def to_jsonl(source: TraceSource) -> str:
     out = io.StringIO()
     for line in jsonl_lines(source):

@@ -99,6 +99,22 @@ CACHE_HIT = metric(
 CACHE_MISS = metric(
     "result_cache_miss", "cache", doc="sweep/enumeration cells computed and stored"
 )
+SERVE_REQUEST = metric(
+    "serve_request", "serve", unit="requests",
+    doc="requests accepted by the checker service",
+)
+SERVE_BUSY = metric(
+    "serve_busy", "serve", unit="requests",
+    doc="requests rejected with busy (backpressure: bounded queue full)",
+)
+SERVE_CACHE_HIT = metric(
+    "serve_cache_hit", "serve", unit="requests",
+    doc="service requests answered whole from the response cache",
+)
+SERVE_ERROR = metric(
+    "serve_error", "serve", unit="requests",
+    doc="service requests answered with an ok=false envelope",
+)
 
 
 class MetricSet:

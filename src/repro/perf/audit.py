@@ -89,6 +89,14 @@ def audit_corpus(
 
 def main(argv=None) -> int:
     """Deprecated shim: forwards to ``python -m repro audit``."""
+    import warnings
+
+    warnings.warn(
+        "`python -m repro.perf.audit` is deprecated; "
+        "use `python -m repro audit` (the repro.api façade underneath)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     print(
         "note: `python -m repro.perf.audit` is deprecated; "
         "use `python -m repro audit`",

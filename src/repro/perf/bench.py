@@ -27,7 +27,11 @@ Run ``python -m repro bench [--scale S] [--jobs N] [--repeat R]
 [--out DIR] [--quick] [--section S[,S...]]`` (``python -m
 repro.perf.bench`` is a deprecated alias).  ``--section`` restricts the
 run to a comma-separated subset of ``enumeration``, ``relcheck``,
-``sweep``, ``simgen``, ``cache``, ``tracing``.
+``sweep``, ``simgen``, ``cache``, ``tracing``, ``serve``.  The ``serve``
+section load-tests the checker service end-to-end — a mixed
+litmus+sweep batch through :func:`repro.serve.generate_load`, cold vs
+warm response cache, asserting byte-identity with direct
+:mod:`repro.api` calls.
 """
 
 from __future__ import annotations
@@ -631,8 +635,95 @@ def bench_relcheck(
     return record
 
 
+#: Litmus checks in the service bench's request mix — a spread of
+#: verdicts and execution counts from the library.
+_SERVE_CHECK_NAMES = (
+    "mp_paired", "mp_data", "sb_data", "sb_paired", "lb_non_ordering",
+    "flags", "split_counter", "ref_counter",
+)
+
+
+def bench_serve(
+    scale: float = 0.05,
+    jobs: Optional[int] = None,
+    check_names: Sequence[str] = _SERVE_CHECK_NAMES,
+    sweep_names: Sequence[str] = ("SC", "SEQ"),
+) -> Dict:
+    """Load-test the checker service: a mixed litmus+sweep batch, cold
+    (empty response cache) then warm (same cache directory), through
+    :func:`repro.serve.generate_load`.
+
+    Also the service's end-to-end equivalence check: the cold responses,
+    the warm (cache-hit) responses, and direct
+    :func:`repro.api.handle_request` calls must all be byte-identical
+    under the canonical codec.  Target: warm cache-hit requests >=10x
+    faster than cold.
+    """
+    import tempfile
+
+    from repro.api import encode, handle_request
+    from repro.serve import generate_load
+
+    requests = [
+        {
+            "schema_version": 1,
+            "kind": "check",
+            "id": f"check-{name}",
+            "program": {"name": name},
+        }
+        for name in check_names
+    ] + [
+        {
+            "schema_version": 1,
+            "kind": "sweep",
+            "id": f"sweep-{name}",
+            "workloads": [name],
+            "scale": scale,
+        }
+        for name in sweep_names
+    ]
+
+    with tempfile.TemporaryDirectory() as root:
+        cold = generate_load(list(requests), jobs=jobs, cache=root)
+        warm = generate_load(list(requests), jobs=jobs, cache=root)
+        direct = [encode(handle_request(dict(r))) for r in requests]
+
+    cold_encoded = [encode(r) for r in cold.responses]
+    warm_encoded = [encode(r) for r in warm.responses]
+    identical = cold_encoded == warm_encoded == direct
+    if not identical:
+        raise AssertionError(
+            "service responses are not byte-identical across "
+            "cold / warm / direct-api runs"
+        )
+    if any(not r.get("ok") for r in cold.responses):
+        raise AssertionError("service bench request failed")
+    return {
+        "requests": len(requests),
+        "checks": len(check_names),
+        "sweeps": len(sweep_names),
+        "scale": scale,
+        "workers": cold.workers,
+        "wall_s_cold": cold.wall_s,
+        "wall_s_warm": warm.wall_s,
+        "speedup": (
+            cold.wall_s / warm.wall_s if warm.wall_s > 0 else float("inf")
+        ),
+        "target_speedup": 10.0,
+        "requests_per_s_cold": cold.requests_per_s,
+        "requests_per_s_warm": warm.requests_per_s,
+        "p50_ms_cold": cold.percentile(0.50) * 1000,
+        "p99_ms_cold": cold.percentile(0.99) * 1000,
+        "p50_ms_warm": warm.percentile(0.50) * 1000,
+        "p99_ms_warm": warm.percentile(0.99) * 1000,
+        "identical": identical,
+    }
+
+
 #: The sections ``run_bench`` knows, in run order.
-SECTIONS = ("enumeration", "relcheck", "sweep", "simgen", "cache", "tracing")
+SECTIONS = (
+    "enumeration", "relcheck", "sweep", "simgen", "cache", "tracing", "serve"
+)
 
 
 def _numpy_version() -> Optional[str]:
@@ -686,6 +777,7 @@ def run_bench(
         "tracing": lambda: bench_tracing(
             scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
         ),
+        "serve": lambda: bench_serve(scale=min(scale, 0.05), jobs=jobs),
     }
     record = {
         "date": date.today().isoformat(),
@@ -800,11 +892,32 @@ def summarize(record: Dict) -> str:
             f"(budget <5%); enabled {tracing['traced_overhead']*100:+.1f}% "
             f"for {tracing['events']} events"
         )
+    serve = record.get("serve")
+    if serve:
+        lines.append(
+            f"serve: {serve['requests']} requests "
+            f"({serve['checks']} checks + {serve['sweeps']} sweeps), "
+            f"{serve['wall_s_cold']:.2f}s cold -> "
+            f"{serve['wall_s_warm']:.3f}s warm "
+            f"({serve['speedup']:.1f}x, target >={serve['target_speedup']:.0f}x; "
+            f"warm p50 {serve['p50_ms_warm']:.1f}ms / "
+            f"p99 {serve['p99_ms_warm']:.1f}ms, "
+            f"{serve['requests_per_s_warm']:.0f} req/s; "
+            f"identical: {serve['identical']})"
+        )
     return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     """Deprecated shim: forwards to ``python -m repro bench``."""
+    import warnings
+
+    warnings.warn(
+        "`python -m repro.perf.bench` is deprecated; "
+        "use `python -m repro bench` (the repro.api façade underneath)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     print(
         "note: `python -m repro.perf.bench` is deprecated; "
         "use `python -m repro bench`",

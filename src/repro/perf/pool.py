@@ -65,7 +65,11 @@ _executor: Optional[ProcessPoolExecutor] = None
 _executor_workers: int = 0
 
 
-def resolve_jobs(jobs: Optional[int] = None, n_tasks: Optional[int] = None) -> int:
+def resolve_jobs(
+    jobs: Optional[int] = None,
+    n_tasks: Optional[int] = None,
+    prefer_warm: bool = False,
+) -> int:
     """Resolve the worker count: argument > ``REPRO_JOBS`` > cpu count.
 
     In the auto-resolved case (no argument, no environment override) the
@@ -75,6 +79,12 @@ def resolve_jobs(jobs: Optional[int] = None, n_tasks: Optional[int] = None) -> i
     startup cost exceeds what parallelism can recover for the short
     tasks these sweeps run.  Explicit ``jobs=N`` and ``REPRO_JOBS`` are
     always honored.
+
+    ``prefer_warm=True`` is the long-lived-service mode: when the shared
+    executor is already warm, the auto case resolves to its worker count
+    and skips the small-grid clamp — dispatching to a pool that is
+    already up costs ~nothing, so the startup-amortization argument
+    behind the clamp does not apply (see :func:`ensure_executor`).
     """
     if jobs is not None:
         return max(1, int(jobs))
@@ -86,6 +96,8 @@ def resolve_jobs(jobs: Optional[int] = None, n_tasks: Optional[int] = None) -> i
             raise ValueError(
                 f"{JOBS_ENV} must be an integer, got {env!r}"
             ) from None
+    if prefer_warm and _executor is not None and _executor_workers > 1:
+        return _executor_workers
     auto = os.cpu_count() or 1
     if auto <= 1:
         return 1
@@ -117,8 +129,49 @@ def _get_executor(workers: int) -> ProcessPoolExecutor:
     return _executor
 
 
+def _acquire_executor(workers: int) -> ProcessPoolExecutor:
+    """A warm executor with **at least** *workers* workers.
+
+    Unlike :func:`_get_executor`, an already-warm larger pool is reused
+    as-is instead of being torn down and rebuilt smaller: a long-lived
+    service sized for peak traffic must not cycle its pool every time a
+    small grid comes through (``pool.map`` with fewer chunks than
+    workers simply leaves the extra workers idle).
+    """
+    if _executor is not None and _executor_workers >= workers:
+        return _executor
+    return _get_executor(workers)
+
+
+def ensure_executor(jobs: Optional[int] = None) -> Optional[ProcessPoolExecutor]:
+    """Lazily start (or resize) the shared warm executor; service entry.
+
+    Resolves a worker count (argument > ``REPRO_JOBS`` > cpu count,
+    without the small-grid clamp — a service sizes for traffic, not for
+    one request) and returns the warm executor, creating or resizing it
+    only when the resolved count differs from the current pool.  Returns
+    ``None`` when the count resolves to serial (single-CPU host or
+    ``jobs=1``): callers should then run work inline instead of paying
+    pool overhead that cannot amortize.
+
+    A long-lived process calls this once at startup (and again to
+    resize); afterwards every dispatch — :func:`parallel_map` or direct
+    ``run_in_executor``/``submit`` — reuses the warm pool without
+    re-probing the serial fallback.
+    """
+    workers = resolve_jobs(jobs, prefer_warm=True)
+    if workers <= 1:
+        return None
+    return _get_executor(workers)
+
+
 def executor_is_warm(workers: int) -> bool:
     return _executor is not None and _executor_workers == workers
+
+
+def warm_worker_count() -> int:
+    """The shared executor's worker count (0 when no pool is up)."""
+    return _executor_workers if _executor is not None else 0
 
 
 def shutdown_executor() -> None:
@@ -164,7 +217,9 @@ def parallel_map(
         if workers <= 1:
             return head + [fn(task) for task in tasks]
         startup = (
-            WARM_START_COST_S if executor_is_warm(workers) else COLD_START_COST_S
+            WARM_START_COST_S
+            if warm_worker_count() >= workers
+            else COLD_START_COST_S
         )
         estimated_serial = per_task * len(tasks)
         # Parallel wall ~= startup + serial/jobs; it wins only when the
@@ -174,7 +229,7 @@ def parallel_map(
 
     workers = min(jobs, len(tasks))
     try:
-        pool = _get_executor(workers)
+        pool = _acquire_executor(workers)
         return head + list(
             pool.map(fn, tasks, chunksize=chunk_size(len(tasks), workers))
         )

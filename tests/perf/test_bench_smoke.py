@@ -57,7 +57,7 @@ def test_bench_harness_emits_valid_json(tmp_path):
         record = json.load(handle)
     assert set(record) == {
         "date", "host", "enumeration", "relcheck", "sweep", "simgen",
-        "tracing", "cache",
+        "tracing", "cache", "serve",
     }
     assert record["host"]["cpu_count"] >= 1
     relcheck = record["relcheck"]
@@ -82,6 +82,11 @@ def test_bench_harness_emits_valid_json(tmp_path):
     assert cache["csv_identical"] is True
     assert cache["cache_hits_warm"] == cache["cache_misses_cold"] > 0
     assert cache["speedup"] > 1.0
+    serve = record["serve"]
+    assert serve["identical"] is True
+    assert serve["requests"] == serve["checks"] + serve["sweeps"]
+    assert serve["speedup"] > 1.0
+    assert serve["p50_ms_warm"] <= serve["p99_ms_warm"]
 
 
 @pytest.mark.bench
@@ -95,4 +100,5 @@ def test_bench_cli_quick(tmp_path, capsys):
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
     assert "cache:" in out and "simgen:" in out and "relcheck:" in out
+    assert "serve:" in out
     assert "deprecated" in captured.err

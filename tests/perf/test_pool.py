@@ -103,3 +103,84 @@ class TestWarmExecutor:
         finally:
             shutdown_executor()
         assert not executor_is_warm(2)
+
+
+class TestServiceExecutor:
+    """Satellite: the long-lived-service pool path — lazy start, warm
+    reuse without downsizing, and warm-aware auto resolution."""
+
+    def test_ensure_executor_serial_is_none(self):
+        shutdown_executor()
+        assert pool.ensure_executor(jobs=1) is None
+        assert pool.warm_worker_count() == 0
+
+    def test_ensure_executor_lazily_starts_and_reuses(self):
+        shutdown_executor()
+        try:
+            first = pool.ensure_executor(jobs=2)
+            assert first is not None
+            assert pool.warm_worker_count() == 2
+            assert pool.ensure_executor(jobs=2) is first
+        finally:
+            shutdown_executor()
+
+    def test_ensure_executor_resizes_on_new_count(self):
+        shutdown_executor()
+        try:
+            pool.ensure_executor(jobs=2)
+            pool.ensure_executor(jobs=3)
+            assert pool.warm_worker_count() == 3
+        finally:
+            shutdown_executor()
+
+    def test_acquire_does_not_downsize_a_warm_pool(self):
+        shutdown_executor()
+        try:
+            big = pool.ensure_executor(jobs=3)
+            assert pool._acquire_executor(2) is big
+            assert pool.warm_worker_count() == 3
+        finally:
+            shutdown_executor()
+
+    def test_acquire_grows_a_small_pool(self):
+        shutdown_executor()
+        try:
+            pool.ensure_executor(jobs=2)
+            pool._acquire_executor(3)
+            assert pool.warm_worker_count() == 3
+        finally:
+            shutdown_executor()
+
+    def test_resolve_jobs_prefer_warm_skips_small_grid_clamp(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        shutdown_executor()
+        try:
+            pool.ensure_executor(jobs=2)
+            # A service request with fewer shards than workers still
+            # dispatches to the warm pool...
+            assert resolve_jobs(prefer_warm=True, n_tasks=1) == 2
+            # ...while one-shot auto resolution keeps the clamp.
+            assert resolve_jobs(n_tasks=4) == 1
+        finally:
+            shutdown_executor()
+
+    def test_prefer_warm_without_a_pool_falls_through(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        shutdown_executor()
+        assert resolve_jobs(prefer_warm=True) == 8
+
+    def test_explicit_jobs_beats_prefer_warm(self, monkeypatch):
+        shutdown_executor()
+        try:
+            pool.ensure_executor(jobs=2)
+            assert resolve_jobs(4, prefer_warm=True) == 4
+        finally:
+            shutdown_executor()
+
+    def test_warm_dispatch_runs_shards(self):
+        shutdown_executor()
+        try:
+            executor = pool.ensure_executor(jobs=2)
+            assert list(executor.map(_double, [1, 2, 3])) == [2, 4, 6]
+        finally:
+            shutdown_executor()
