@@ -54,8 +54,10 @@ from repro.perf.cache import (
 )
 from repro.perf.pool import parallel_map
 
-#: Packages whose sources determine a check/audit response.
-CHECK_CODE_PACKAGES = ("repro.core", "repro.litmus", "repro.api")
+#: Packages whose sources determine a check/audit response.  The solver
+#: sources ride along because ``options.engine`` may route the check
+#: through :mod:`repro.solver`.
+CHECK_CODE_PACKAGES = ("repro.core", "repro.litmus", "repro.api", "repro.solver")
 
 #: Packages whose sources determine a sweep response.
 SWEEP_REQUEST_CODE_PACKAGES = SWEEP_CODE_PACKAGES + ("repro.api",)
@@ -176,6 +178,7 @@ def _check_payload(result) -> Dict[str, Any]:
         "execution_classes": result.execution_classes,
         "analyses_run": result.analyses_run,
         "truncated_paths": result.truncated_paths,
+        "engine": result.engine,
         "witnesses": [
             {
                 "execution": w.execution_index,
@@ -213,6 +216,7 @@ def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
             exhaustive=options["exhaustive"],
             cache=cache,
             tracer=tracer,
+            engine=options["engine"],
         )
         part: Dict[str, Any] = {
             "model": shard["model"],
@@ -244,7 +248,8 @@ def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
 
         options = shard["options"]
         result = _audit_file(
-            (shard["path"], cache, options["backend"], options["dedup"])
+            (shard["path"], cache, options["backend"], options["dedup"],
+             options["engine"])
         )
         return {
             "name": result.name,
@@ -254,6 +259,7 @@ def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
                     "expected": expected,
                     "actual": actual,
                     "race_kinds": list(kinds),
+                    "engine": result.engines.get(model, "enum"),
                 }
                 for model, (expected, actual, kinds) in sorted(
                     result.verdicts.items()
@@ -441,6 +447,7 @@ def check_program(
     exhaustive: bool = True,
     max_executions: Optional[int] = None,
     trace: bool = False,
+    engine: str = "enum",
     cache: CacheSpec = None,
     jobs: Optional[int] = 1,
     request_id: Optional[Any] = None,
@@ -448,9 +455,10 @@ def check_program(
     """Check a litmus program; returns the full v1 response envelope.
 
     Exactly one of *name* (a litmus-library test) or *source* (DSL text)
-    selects the program.  *models* defaults to all three.  The envelope
-    is exactly what ``python -m repro serve`` would answer for the
-    equivalent request.
+    selects the program.  *models* defaults to all three.  *engine*
+    picks the checking engine (``"enum"``, ``"sat"`` or ``"auto"``; see
+    :func:`repro.core.model.check`).  The envelope is exactly what
+    ``python -m repro serve`` would answer for the equivalent request.
     """
     if (name is None) == (source is None):
         raise TypeError("pass exactly one of name= or source=")
@@ -465,6 +473,7 @@ def check_program(
             "exhaustive": exhaustive,
             "max_executions": max_executions,
             "trace": trace,
+            "engine": engine,
         },
     }
     if models is not None:
@@ -498,6 +507,7 @@ def audit_request(
     *,
     backend: Optional[str] = None,
     dedup: bool = True,
+    engine: str = "enum",
     cache: CacheSpec = None,
     jobs: Optional[int] = 1,
     request_id: Optional[Any] = None,
@@ -508,7 +518,7 @@ def audit_request(
         "schema_version": 1,
         "kind": "audit",
         "id": request_id,
-        "options": {"backend": backend, "dedup": dedup},
+        "options": {"backend": backend, "dedup": dedup, "engine": engine},
     }
     return handle_request(request, cache=cache, jobs=jobs)
 

@@ -31,7 +31,8 @@ Request shapes (v1)
      "program": {"name": "mp_paired"},          # or {"source": "<DSL text>"}
      "models": ["drf0", "drf1", "drfrlx"],       # optional, default all
      "options": {"backend": "auto", "dedup": true, "exhaustive": true,
-                 "max_executions": null, "trace": false}}   # all optional
+                 "max_executions": null, "trace": false,
+                 "engine": "enum"}}              # all optional
 
 ``sweep`` — run workloads over the six simulated configurations::
 
@@ -41,7 +42,7 @@ Request shapes (v1)
 ``audit`` — re-check the litmus corpus against its declared verdicts::
 
     {"schema_version": 1, "kind": "audit",
-     "options": {"backend": "auto", "dedup": true}}
+     "options": {"backend": "auto", "dedup": true, "engine": "enum"}}
 
 Validation is strict: unknown top-level fields, unknown option names,
 and out-of-range values all fail with ``bad_field`` rather than being
@@ -67,6 +68,12 @@ BACKENDS = ("auto", "dense", "numpy", "pairs")
 #: Valid ``engine`` values for sweep requests (mirrors
 #: ``repro.sim.system.ENGINES``).
 ENGINES = ("auto", "compiled", "vectorized", "reference")
+
+#: Valid ``options.engine`` values for check/audit requests (mirrors
+#: ``repro.core.model.ENGINES``).  Added post-v1 as an optional field
+#: whose default, "enum", is the pre-existing behavior, so every old
+#: request stays valid and means what it always did; no version bump.
+CHECK_ENGINES = ("enum", "sat", "auto")
 
 #: Error codes an ``ok: false`` response may carry.
 ERROR_CODES = (
@@ -199,7 +206,7 @@ def _validate_check_options(options: Any) -> Dict[str, Any]:
         raise _bad("options", f"expected an object, got {type(options).__name__}")
     _require_keys(
         options,
-        ("backend", "dedup", "exhaustive", "max_executions", "trace"),
+        ("backend", "dedup", "exhaustive", "max_executions", "trace", "engine"),
         "options",
     )
     max_executions = options.get("max_executions")
@@ -215,6 +222,7 @@ def _validate_check_options(options: Any) -> Dict[str, Any]:
         "exhaustive": _bool(options, "exhaustive", True, "options"),
         "max_executions": max_executions,
         "trace": _bool(options, "trace", False, "options"),
+        "engine": _choice(options, "engine", CHECK_ENGINES, "enum", "options"),
     }
 
 
@@ -223,10 +231,11 @@ def _validate_audit_options(options: Any) -> Dict[str, Any]:
         options = {}
     if not isinstance(options, dict):
         raise _bad("options", f"expected an object, got {type(options).__name__}")
-    _require_keys(options, ("backend", "dedup"), "options")
+    _require_keys(options, ("backend", "dedup", "engine"), "options")
     return {
         "backend": _choice(options, "backend", BACKENDS, "auto", "options"),
         "dedup": _bool(options, "dedup", True, "options"),
+        "engine": _choice(options, "engine", CHECK_ENGINES, "enum", "options"),
     }
 
 

@@ -129,7 +129,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf harness and print its summary."""
-    from repro.perf.bench import run_bench, summarize
+    from repro.perf.bench import compare_baseline, run_bench, summarize
 
     _cli_cache(args, default=False)  # bench manages its own caches; honor --cache-clear
     sections = (
@@ -137,11 +137,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if args.section
         else None
     )
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
     if args.quick:
         path = run_bench(
             out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
             sweep_names=("SC", "SEQ"), stress=False, engine=args.engine,
-            sections=sections,
+            sections=sections, quick=True,
         )
     else:
         path = run_bench(
@@ -152,6 +156,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         record = json.load(handle)
     print(f"wrote {path}")
     print(summarize(record))
+    if baseline is not None:
+        print(f"vs baseline {args.baseline}:")
+        for line in compare_baseline(record, baseline):
+            print(f"  {line}")
     return 0
 
 
@@ -161,6 +169,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
     response = audit_request(
         backend=args.relation_backend,
+        engine=args.check_engine,
         cache=_cli_cache(args, default=True),
         jobs=args.jobs,
     )
@@ -261,6 +270,7 @@ def cmd_litmus(args: argparse.Namespace) -> int:
         name=args.name,
         models=[args.model] if args.model else None,
         backend=args.relation_backend,
+        engine=args.check_engine,
         cache=_cli_cache(args, default=False),
         jobs=args.jobs,
     )
@@ -284,9 +294,15 @@ def cmd_litmus(args: argparse.Namespace) -> int:
             note = (
                 f"  << expected {'LEGAL' if expected[model] else 'ILLEGAL'}"
             )
+        # The solver engine counts execution classes, not interleavings;
+        # tag its lines so the counts are not misread (enum stays as-is).
+        if payload.get("engine") == "sat":
+            count = f"{payload['executions']} execution classes [sat]"
+        else:
+            count = f"{payload['executions']} SC executions"
         print(
             f"{result['program']}: {model.upper()} {verdict} "
-            f"(races: {kinds}; {payload['executions']} SC executions)" + note
+            f"(races: {kinds}; {count})" + note
         )
     return 1 if mismatches else 0
 
@@ -333,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only the named bench sections (comma-"
                         "separated), e.g. --section relcheck,simgen; "
                         "default: all sections")
+    p.add_argument("--baseline", default=None, metavar="BENCH.json",
+                   help="diff this run's section timings against an "
+                        "earlier BENCH_<date>.json, warning on >20%% "
+                        "wall-time regressions")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -343,6 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the v1 response envelope (one JSON line) "
                         "instead of per-file text; exit 0 ok / 1 failures "
                         "/ 2 request error")
+    p.add_argument("--check-engine", choices=("enum", "sat", "auto"),
+                   default="enum", metavar="E",
+                   help="model-checking engine: 'enum' walks every "
+                        "interleaving, 'sat' enumerates execution classes "
+                        "with the CDCL solver, 'auto' picks per program "
+                        "(default enum). Verdicts are identical either way")
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser(
@@ -373,6 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the v1 response envelope (one JSON line) "
                         "instead of per-model text; exit 0 ok / 1 verdict "
                         "mismatch / 2 request error")
+    p.add_argument("--check-engine", choices=("enum", "sat", "auto"),
+                   default="enum", metavar="E",
+                   help="model-checking engine: 'enum' walks every "
+                        "interleaving, 'sat' enumerates execution classes "
+                        "with the CDCL solver, 'auto' picks per program "
+                        "(default enum). Verdicts are identical either way")
     p.set_defaults(func=cmd_litmus)
 
     p = sub.add_parser(

@@ -24,13 +24,31 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.executions import SCEnumeration, enumerate_sc_executions
+from repro.core.executions import (
+    SCEnumeration,
+    enumerate_sc_executions,
+    static_step_bound,
+)
 from repro.core.labels import ATOMIC_KINDS, AtomicKind
 from repro.core.quantum import quantum_equivalent
 from repro.core.races import Race, RaceAnalysis, race_signature
 from repro.litmus.program import Program
+from repro.obs.metrics import record_resolution
 
 MODELS = ("drf0", "drf1", "drfrlx")
+
+#: The checking engines ``check(engine=...)`` accepts.  ``"enum"`` is the
+#: explicit interleaving enumerator (the oracle), ``"sat"`` the
+#: solver-backed class enumerator (:mod:`repro.solver`), and ``"auto"``
+#: routes programs above the small-program gate to the solver while
+#: keeping the enumerator for programs it wins on anyway.
+ENGINES = ("enum", "sat", "auto")
+
+#: ``engine="auto"`` stays on the enumerator when the prepared program's
+#: static step bound is at or below this; tiny programs enumerate in
+#: microseconds and the CNF build would only add overhead.  See the
+#: crossover measurements in docs/performance.md.
+SMALL_PROGRAM_STEPS = 4
 
 from repro.core.labels import effective_kind
 
@@ -71,9 +89,20 @@ class CheckResult:
     execution_classes: int = 0
     #: Race analyses actually run (<= executions_explored under dedup).
     analyses_run: int = 0
+    #: The checking engine that actually ran ("enum" or "sat") — under
+    #: ``engine="auto"`` or a solver capacity fallback this records the
+    #: resolved choice, not the request.
+    engine: str = "enum"
+    #: Every race kind found across all execution classes.  Unlike
+    #: ``witnesses`` this is never truncated by ``max_witnesses``, so it
+    #: (and the ``race_kinds`` verdict built on it) is independent of
+    #: enumeration order and of the checking engine.
+    found_race_kinds: Tuple[str, ...] = ()
 
     @property
     def race_kinds(self) -> Tuple[str, ...]:
+        if self.found_race_kinds:
+            return self.found_race_kinds
         return tuple(sorted({w.race.kind for w in self.witnesses}))
 
     def summary(self) -> str:
@@ -130,6 +159,21 @@ def _prepare(program: Program, model: str) -> Program:
     return prepared
 
 
+class ClassifiedRaces(tuple):
+    """The ``(witnesses, execution_classes, analyses_run)`` triple of
+    :func:`classify_enumeration`, unpacking exactly like the plain tuple
+    it used to be, plus the full ``race_kinds`` union as an attribute.
+    The witness list is capped by ``max_witnesses`` in enumeration
+    order; ``race_kinds`` never is, so verdict surfaces built on it do
+    not depend on which engine (or which interleaving order) produced
+    the enumeration."""
+
+    def __new__(cls, witnesses, execution_classes, analyses_run, race_kinds):
+        self = super().__new__(cls, (witnesses, execution_classes, analyses_run))
+        self.race_kinds = race_kinds
+        return self
+
+
 def classify_enumeration(
     enumeration: SCEnumeration,
     model: str,
@@ -137,12 +181,14 @@ def classify_enumeration(
     backend: Optional[str] = None,
     dedup: bool = True,
     exhaustive: bool = True,
-) -> Tuple[Tuple[RaceWitness, ...], int, int]:
+) -> "ClassifiedRaces":
     """Race-classify every execution of *enumeration* under *model*.
 
-    Returns ``(witnesses, execution_classes, analyses_run)``.  This is
-    the analysis half of :func:`check`, split out so the bench harness
-    can time it against a shared enumeration.
+    Returns ``(witnesses, execution_classes, analyses_run)`` (a
+    :class:`ClassifiedRaces`, which also carries the uncapped
+    ``race_kinds`` union).  This is the analysis half of :func:`check`,
+    split out so the bench harness can time it against a shared
+    enumeration.
 
     ``dedup=True`` projects each execution to its race-relevant
     signature (:func:`repro.core.races.race_signature`) and analyzes one
@@ -162,6 +208,7 @@ def classify_enumeration(
     #: tuple per execution, everything downstream keys on the id.
     class_ids: Dict[Tuple, int] = {}
     intern: Dict[Tuple, int] = {}  # shared event-key interning (see race_signature)
+    kinds_seen: set = set()
     analyses = 0
     _UNSEEN = object()
     for idx, execution in enumerate(enumeration.executions):
@@ -183,6 +230,7 @@ def classify_enumeration(
             if dedup:
                 class_races[sig_id] = races_found
         if races_found:
+            kinds_seen.update(race.kind for race in races_found)
             for race in races_found:
                 if len(witnesses) < max_witnesses:
                     witnesses.append(RaceWitness(idx, race))
@@ -191,7 +239,9 @@ def classify_enumeration(
             if not exhaustive and witnesses:
                 break
     n_classes = len(class_ids) if dedup else analyses
-    return tuple(witnesses), n_classes, analyses
+    return ClassifiedRaces(
+        tuple(witnesses), n_classes, analyses, tuple(sorted(kinds_seen))
+    )
 
 
 def check(
@@ -205,6 +255,7 @@ def check(
     dedup: bool = True,
     exhaustive: bool = True,
     tracer=None,
+    engine: str = "enum",
 ) -> CheckResult:
     """Check *program* against one of the three models.
 
@@ -225,13 +276,46 @@ def check(
     ``tracer`` records the enumeration's search events (see
     :mod:`repro.obs` — the per-request trace capture behind the
     service's ``options.trace`` flag).
+
+    ``engine`` selects the checking engine (one of :data:`ENGINES`):
+    ``"enum"`` walks every interleaving explicitly, ``"sat"`` enumerates
+    race-relevant execution classes with the CDCL solver of
+    :mod:`repro.solver` (one model per class — verdicts and printed
+    witnesses are identical, but ``executions_explored`` counts classes
+    and ``truncated_paths`` counts locally truncated thread branches),
+    and ``"auto"`` picks the solver for programs whose static step bound
+    exceeds :data:`SMALL_PROGRAM_STEPS`.  The solver engine falls back to
+    the enumerator when the program exceeds its grounding capacity (deep
+    loops, huge value domains); ``naive=True`` always uses the
+    enumerator.  :attr:`CheckResult.engine` records the resolved choice.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     prepared = _prepare(program, model)
-    enumeration = enumerate_sc_executions(
-        prepared, max_executions=max_executions, naive=naive, cache=cache,
-        tracer=tracer,
+    use_sat = engine == "sat" or (
+        engine == "auto"
+        and static_step_bound(prepared) > SMALL_PROGRAM_STEPS
     )
-    witnesses, n_classes, analyses = classify_enumeration(
+    engine_used = "enum"
+    enumeration = None
+    if use_sat and not naive:
+        from repro.solver import SolverCapacityError, sat_enumeration
+
+        try:
+            enumeration = sat_enumeration(
+                prepared, max_executions=max_executions, cache=cache,
+                tracer=tracer,
+            )
+            engine_used = "sat"
+        except SolverCapacityError:
+            enumeration = None  # fall back to the explicit enumerator
+    if enumeration is None:
+        enumeration = enumerate_sc_executions(
+            prepared, max_executions=max_executions, naive=naive, cache=cache,
+            tracer=tracer,
+        )
+    record_resolution("check_engine", engine_used)
+    classified = classify_enumeration(
         enumeration,
         model,
         max_witnesses=max_witnesses,
@@ -239,6 +323,7 @@ def check(
         dedup=dedup,
         exhaustive=exhaustive,
     )
+    witnesses, n_classes, analyses = classified
     return CheckResult(
         program_name=program.name,
         model=model,
@@ -249,6 +334,8 @@ def check(
         checked_program=prepared,
         execution_classes=n_classes,
         analyses_run=analyses,
+        engine=engine_used,
+        found_race_kinds=classified.race_kinds,
     )
 
 
@@ -256,9 +343,11 @@ def check_all_models(
     program: Program,
     max_executions: Optional[int] = None,
     backend: Optional[str] = None,
+    engine: str = "enum",
 ) -> Dict[str, CheckResult]:
     """Run all three checkers; the per-model verdict table of Section 3.8."""
     return {
-        model: check(program, model, max_executions, backend=backend)
+        model: check(program, model, max_executions, backend=backend,
+                     engine=engine)
         for model in MODELS
     }

@@ -913,3 +913,64 @@ def table1_rows() -> Tuple[Tuple[str, str], ...]:
     for test in use_cases():
         rows.append((test.use_case, test.name))
     return tuple(rows)
+
+
+# -------------------------------------------------------------- scaling family
+#
+# Parameterized programs for the engine-scaling benchmarks: interleaving
+# counts grow exponentially in the thread count while the per-thread
+# bodies stay two instructions, which is exactly the regime where the
+# solver-backed checker overtakes the explicit enumerator (see the
+# "Solver-backed checking" section of docs/performance.md).  They are
+# generators, not library members — ``all_tests()`` does not include
+# them, so the fixed corpus and its golden verdicts are untouched.
+
+#: The five relaxed-atomic classes the scaling families parameterize
+#: over (name -> label), mirroring Table 1's relaxed use cases.
+SCALED_KINDS: Dict[str, AtomicKind] = {
+    "unpaired": UNPAIRED,
+    "commutative": COMM,
+    "non_ordering": NO,
+    "quantum": QUANTUM,
+    "speculative": SPEC,
+}
+
+
+def scaled_mp(n: int, kind: AtomicKind = UNPAIRED) -> Program:
+    """Message passing fanned out to *n* threads.
+
+    One writer publishes a *kind*-labeled payload behind a paired flag;
+    the other ``n - 1`` threads each read the flag (paired) then the
+    payload (*kind*).  Every reader independently sees one of three
+    states, so the enumerator faces ~``3^(n-1)`` execution classes and a
+    far larger interleaving count, while each thread grounds to a
+    handful of local traces.
+    """
+    if n < 2:
+        raise ValueError(f"scaled_mp needs at least 2 threads, got {n}")
+    threads = [[store("data", 1, kind), store("flag", 1, PAIRED)]]
+    for i in range(n - 1):
+        threads.append([
+            load(f"f{i}", "flag", PAIRED),
+            load(f"d{i}", "data", kind),
+        ])
+    return Program(f"scaled_mp_{kind.name.lower()}_{n}", threads)
+
+
+def scaled_chain(n: int, kind: AtomicKind = UNPAIRED) -> Program:
+    """A store-buffering ring over *n* threads.
+
+    Thread *i* stores ``x_i = 1`` then loads ``x_{(i+1) % n}``, all with
+    the *kind* label — the n-thread generalization of the classic SB
+    test.  The distinct-outcome count grows as ``2^n - 1``: any subset
+    of loads may miss its neighbor's store except all of them at once
+    (an SC cycle), driving the enumerator's interleaving walk
+    superexponential while the CNF stays linear in *n*.
+    """
+    if n < 2:
+        raise ValueError(f"scaled_chain needs at least 2 threads, got {n}")
+    threads = [
+        [store(f"x{i}", 1, kind), load(f"r{i}", f"x{(i + 1) % n}", kind)]
+        for i in range(n)
+    ]
+    return Program(f"scaled_chain_{kind.name.lower()}_{n}", threads)

@@ -168,9 +168,9 @@ _RESOLUTIONS_SEEN = set()
 def record_resolution(kind: str, choice: str) -> None:
     """Record (once per process) that *kind* resolved to *choice*.
 
-    ``kind`` is ``"relation_backend"`` or ``"sim_engine"``; the counter
-    ``{kind}_resolved:{choice}`` lands in :data:`RUNTIME` the first time
-    each pair is seen.
+    ``kind`` is ``"relation_backend"``, ``"sim_engine"`` or
+    ``"check_engine"``; the counter ``{kind}_resolved:{choice}`` lands in
+    :data:`RUNTIME` the first time each pair is seen.
     """
     key = (kind, choice)
     if key in _RESOLUTIONS_SEEN:

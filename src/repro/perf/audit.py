@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.model import check
@@ -33,6 +33,8 @@ class AuditResult:
     path: str
     #: model -> (expected legal, actual legal, actual race kinds)
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]]
+    #: model -> checking engine that actually ran ("enum" or "sat").
+    engines: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -40,26 +42,30 @@ class AuditResult:
 
 
 def _audit_file(
-    task: Tuple[str, Optional[str], Optional[str], bool]
+    task: Tuple[str, Optional[str], Optional[str], bool, str]
 ) -> AuditResult:
     """Worker: parse one corpus file and check every declared model.
 
     The second task element is a result-cache root (or None): workers
     open their own :class:`~repro.perf.cache.ResultCache` on it so the
     per-program enumerations are memoized across runs.  The remaining
-    elements carry the relation ``backend`` and ``dedup`` flags through
-    to :func:`repro.core.model.check`.
+    elements carry the relation ``backend``, ``dedup`` and checking
+    ``engine`` flags through to :func:`repro.core.model.check`.
     """
-    path, cache_root, backend, dedup = task
+    path, cache_root, backend, dedup, engine = task
     cache = resolve_cache(cache_root) if cache_root is not None else None
     with open(path) as handle:
         text = handle.read()
     program = parse(text)
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]] = {}
+    engines: Dict[str, str] = {}
     for model, (legal, _kinds) in sorted(_parse_expectations(text).items()):
-        result = check(program, model, cache=cache, backend=backend, dedup=dedup)
+        result = check(program, model, cache=cache, backend=backend,
+                       dedup=dedup, engine=engine)
         verdicts[model] = (legal, result.legal, result.race_kinds)
-    return AuditResult(name=program.name, path=path, verdicts=verdicts)
+        engines[model] = result.engine
+    return AuditResult(name=program.name, path=path, verdicts=verdicts,
+                       engines=engines)
 
 
 def audit_corpus(
@@ -68,19 +74,22 @@ def audit_corpus(
     cache: CacheSpec = None,
     backend: Optional[str] = None,
     dedup: bool = True,
+    engine: str = "enum",
 ) -> Tuple[AuditResult, ...]:
     """Audit every corpus file; results in sorted-filename order.
 
     ``cache`` memoizes each file's per-model enumerations on disk (see
     :mod:`repro.perf.cache`); only its directory crosses the process
     boundary.  ``backend``/``dedup`` select the relation backend and
-    execution-class deduplication for every check (the verdicts are
-    identical in all combinations; these are perf knobs).
+    execution-class deduplication for every check, and ``engine`` the
+    checking engine (the verdicts are identical in all combinations;
+    these are perf knobs).  Each result records the engine that actually
+    ran per model in :attr:`AuditResult.engines`.
     """
     store = resolve_cache(cache)
     root = store.root if store is not None else None
     tasks = [
-        (os.path.join(directory, filename), root, backend, dedup)
+        (os.path.join(directory, filename), root, backend, dedup, engine)
         for filename in sorted(os.listdir(directory))
         if filename.endswith(".litmus")
     ]

@@ -24,14 +24,19 @@ byte-identical (parallel vs serial; compiled and vectorized vs
 reference).
 
 Run ``python -m repro bench [--scale S] [--jobs N] [--repeat R]
-[--out DIR] [--quick] [--section S[,S...]]`` (``python -m
-repro.perf.bench`` is a deprecated alias).  ``--section`` restricts the
-run to a comma-separated subset of ``enumeration``, ``relcheck``,
-``sweep``, ``simgen``, ``cache``, ``tracing``, ``serve``.  The ``serve``
-section load-tests the checker service end-to-end — a mixed
-litmus+sweep batch through :func:`repro.serve.generate_load`, cold vs
-warm response cache, asserting byte-identity with direct
-:mod:`repro.api` calls.
+[--out DIR] [--quick] [--section S[,S...]] [--baseline B.json]``
+(``python -m repro.perf.bench`` is a deprecated alias).  ``--section``
+restricts the run to a comma-separated subset of ``enumeration``,
+``relcheck``, ``solver``, ``sweep``, ``simgen``, ``cache``, ``tracing``,
+``serve``.  The ``solver`` section races SAT-backed checking against
+the explicit enumerator on the scaling litmus families and records the
+crossover; the ``serve`` section load-tests the checker service
+end-to-end — a mixed litmus+sweep batch through
+:func:`repro.serve.generate_load`, cold vs warm response cache,
+asserting byte-identity with direct :mod:`repro.api` calls.
+``--baseline`` diffs the fresh record against an older
+``BENCH_<date>.json`` (see :func:`compare_baseline`), flagging >20%
+wall-time regressions.
 """
 
 from __future__ import annotations
@@ -635,6 +640,136 @@ def bench_relcheck(
     return record
 
 
+def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
+    """Time SAT-backed checking against the explicit enumerator on the
+    scaling litmus families, and record where the solver starts winning.
+
+    Two parameterized families from :mod:`repro.litmus.library` —
+    ``scaled_chain(n)`` (an n-thread load-buffering ring) and
+    ``scaled_mp(n)`` (one writer, n-1 racing readers) — grow the
+    interleaving count factorially in *n* while the per-thread grounding
+    stays constant, which is exactly the regime solver-backed checking
+    targets.  For each family, *n* sweeps upward from 4 until the
+    enumerator's last check exceeds the time budget; the SAT engine
+    keeps going to the sweep ceiling.  Timing is best-of-*repeat* via
+    :func:`repro.core.model.check` (uncached, ``drfrlx``).
+
+    Doubles as a correctness gate: at every *n* both engines ran, the
+    full three-model verdicts (legal + race kinds) must be identical,
+    and the SAT engine must genuinely have run (a capacity fallback on
+    these families would time the wrong engine).  A full-corpus pass
+    compares ``check(engine="sat")`` against ``check(engine="enum")``
+    for every program and model — programs past the encoder's capacity
+    caps fall back to the enumerator by design and are counted, not
+    failed.  Target: >=5x at the largest *n* both engines finish.
+    """
+    from repro.core.model import MODELS, check
+    from repro.litmus.library import scaled_chain, scaled_mp
+
+    budget_s = 2.0 if quick else 10.0
+    max_n = 6 if quick else 10
+    families = (("scaled_chain", scaled_chain), ("scaled_mp", scaled_mp))
+    per_program: List[Dict] = []
+    crossover: Dict[str, Optional[int]] = {}
+    speedup_at_largest: Dict[str, float] = {}
+
+    for fam, make in families:
+        crossover[fam] = None
+        last_enum = 0.0
+        for n in range(4, max_n + 1):
+            program = make(n)
+            run_enum = last_enum <= budget_s
+            rounds = max(1, repeat) if last_enum < 1.0 else 1
+            times: Dict[str, float] = {}
+            verdicts: Dict[str, Tuple] = {}
+            for engine in ("enum", "sat") if run_enum else ("sat",):
+                best = None
+                for _ in range(rounds):
+                    t0 = time.perf_counter()
+                    result = check(program, "drfrlx", engine=engine)
+                    elapsed = time.perf_counter() - t0
+                    best = elapsed if best is None else min(best, elapsed)
+                if result.engine != engine:
+                    raise AssertionError(
+                        f"{program.name}: requested {engine} but "
+                        f"{result.engine} ran"
+                    )
+                times[engine] = best
+                verdicts[engine] = (result.legal, result.race_kinds)
+            entry: Dict = {"program": program.name, "threads": n}
+            entry.update({f"wall_s_{e}": t for e, t in times.items()})
+            if run_enum:
+                if verdicts["enum"] != verdicts["sat"]:
+                    raise AssertionError(
+                        f"engines disagree on {program.name}: "
+                        f"enum={verdicts['enum']} sat={verdicts['sat']}"
+                    )
+                for model in MODELS:
+                    if model == "drfrlx":
+                        continue
+                    a = check(program, model, engine="enum")
+                    b = check(program, model, engine="sat")
+                    if (a.legal, a.race_kinds) != (b.legal, b.race_kinds):
+                        raise AssertionError(
+                            f"engines disagree on {program.name}/{model}"
+                        )
+                speedup = (
+                    times["enum"] / times["sat"]
+                    if times["sat"] > 0 else float("inf")
+                )
+                entry["speedup"] = speedup
+                speedup_at_largest[fam] = speedup
+                if crossover[fam] is None and times["sat"] < times["enum"]:
+                    crossover[fam] = n
+                last_enum = times["enum"]
+            per_program.append(entry)
+
+    # Full-corpus engine-identity pass (capacity fallbacks count as ok).
+    sat_ran = 0
+    fallbacks = 0
+    corpus_checks = 0
+    for name, program in _corpus_programs():
+        for model in MODELS:
+            corpus_checks += 1
+            a = check(program, model, engine="enum")
+            b = check(program, model, engine="sat")
+            if (a.legal, a.race_kinds) != (b.legal, b.race_kinds):
+                raise AssertionError(
+                    f"corpus verdict differs on {name}/{model}: "
+                    f"enum={(a.legal, a.race_kinds)} "
+                    f"sat={(b.legal, b.race_kinds)}"
+                )
+            if b.engine == "sat":
+                sat_ran += 1
+            else:
+                fallbacks += 1
+
+    headline = max(speedup_at_largest.values()) if speedup_at_largest else 0.0
+    return {
+        "families": [fam for fam, _ in families],
+        "budget_s": budget_s,
+        "max_threads": max_n,
+        "repeat": repeat,
+        # Top-level aggregates so ``--baseline`` diffs can track the
+        # solver section (compare_baseline only reads top-level wall_s_*).
+        "wall_s_scaling_sat": sum(
+            row.get("wall_s_sat", 0.0) for row in per_program
+        ),
+        "wall_s_scaling_enum": sum(
+            row.get("wall_s_enum", 0.0) for row in per_program
+        ),
+        "crossover_threads": crossover,
+        "speedup_at_largest_common": speedup_at_largest,
+        "speedup": headline,
+        "target_speedup": 5.0,
+        "corpus_checks": corpus_checks,
+        "corpus_sat": sat_ran,
+        "corpus_capacity_fallbacks": fallbacks,
+        "corpus_verdicts_identical": True,
+        "per_program": per_program,
+    }
+
+
 #: Litmus checks in the service bench's request mix — a spread of
 #: verdicts and execution counts from the library.
 _SERVE_CHECK_NAMES = (
@@ -722,8 +857,56 @@ def bench_serve(
 
 #: The sections ``run_bench`` knows, in run order.
 SECTIONS = (
-    "enumeration", "relcheck", "sweep", "simgen", "cache", "tracing", "serve"
+    "enumeration", "relcheck", "solver", "sweep", "simgen", "cache",
+    "tracing", "serve",
 )
+
+#: Fractional wall-time increase over the baseline that
+#: :func:`compare_baseline` flags as a regression.
+REGRESSION_THRESHOLD = 0.20
+
+
+def compare_baseline(record: Dict, baseline: Dict) -> List[str]:
+    """Diff two ``BENCH_<date>.json`` records section by section.
+
+    Compares every top-level ``wall_s_*`` timing of each section present
+    in both records and returns one line per metric; increases past
+    :data:`REGRESSION_THRESHOLD` are suffixed with a ``WARNING``.  Used
+    by ``python -m repro bench --baseline OLD.json`` to turn the perf
+    trajectory the JSON records accumulate into an actionable diff.
+    """
+    lines: List[str] = []
+    warnings = 0
+    for section in SECTIONS:
+        current, base = record.get(section), baseline.get(section)
+        if not isinstance(current, dict) or not isinstance(base, dict):
+            continue
+        for key in sorted(current):
+            if not key.startswith("wall_s_"):
+                continue
+            after, before = current[key], base.get(key)
+            if not isinstance(before, (int, float)) or before <= 0 or \
+                    not isinstance(after, (int, float)):
+                continue
+            delta = after / before - 1.0
+            tag = ""
+            if delta > REGRESSION_THRESHOLD:
+                tag = f"  WARNING: >{REGRESSION_THRESHOLD:.0%} regression"
+                warnings += 1
+            lines.append(
+                f"{section}.{key[len('wall_s_'):]}: "
+                f"{before * 1000:.1f}ms -> {after * 1000:.1f}ms "
+                f"({delta:+.1%}){tag}"
+            )
+    if not lines:
+        lines.append("no comparable wall_s_* metrics between the records")
+    else:
+        lines.append(
+            f"{warnings} regression warning(s) past "
+            f"{REGRESSION_THRESHOLD:.0%}" if warnings else
+            f"no regressions past {REGRESSION_THRESHOLD:.0%}"
+        )
+    return lines
 
 
 def _numpy_version() -> Optional[str]:
@@ -744,6 +927,7 @@ def run_bench(
     stress: bool = True,
     engine: str = "auto",
     sections: Optional[Sequence[str]] = None,
+    quick: bool = False,
 ) -> str:
     """Run the benchmarks and write ``BENCH_<date>.json``; returns the path.
 
@@ -751,7 +935,9 @@ def run_bench(
     (serial vs parallel); the simgen section always compares every
     engine regardless.  ``sections`` restricts the run to a subset of
     :data:`SECTIONS` (the CLI's ``--section relcheck,simgen``); unknown
-    names raise with the allowed set.
+    names raise with the allowed set.  ``quick`` shrinks the solver
+    section's scaling sweep (the CLI's ``--quick`` also shrinks scale,
+    repeat and the workload set through the other parameters).
     """
     if sections is None:
         sections = SECTIONS
@@ -767,6 +953,7 @@ def run_bench(
             programs=enum_programs, repeat=repeat, stress=stress
         ),
         "relcheck": lambda: bench_relcheck(repeat=repeat),
+        "solver": lambda: bench_solver(repeat=repeat, quick=quick),
         "sweep": lambda: bench_sweep(
             scale=scale, jobs=jobs, names=sweep_names, engine=engine
         ),
@@ -842,6 +1029,21 @@ def summarize(record: Dict) -> str:
                 f"target >={big['target_speedup']:.1f}x; "
                 f"identical: {big['identical']})"
             )
+    solver = record.get("solver")
+    if solver:
+        crossings = ", ".join(
+            f"{fam} n={n}" if n is not None else f"{fam} n=-"
+            for fam, n in sorted(solver["crossover_threads"].items())
+        )
+        lines.append(
+            f"solver: scaling families to n={solver['max_threads']}, "
+            f"sat wins from {crossings}; "
+            f"{solver['speedup']:.1f}x at largest common n "
+            f"(target >={solver['target_speedup']:.0f}x); corpus "
+            f"{solver['corpus_checks']} checks identical "
+            f"({solver['corpus_sat']} sat, "
+            f"{solver['corpus_capacity_fallbacks']} capacity fallbacks)"
+        )
     sweep = record.get("sweep")
     if sweep and sweep.get("serial_fallback"):
         lines.append(

@@ -65,6 +65,11 @@ SWEEP_CODE_PACKAGES = ("repro.sim", "repro.energy", "repro.workloads")
 #: Packages whose sources determine an enumeration result.
 ENUM_CODE_PACKAGES = ("repro.core", "repro.litmus")
 
+#: Packages whose sources determine a solver-backed enumeration result
+#: (the SAT engine reuses the core interpreter and the litmus AST, so
+#: those fingerprints ride along with ``repro.solver`` itself).
+SOLVER_CODE_PACKAGES = ("repro.core", "repro.litmus", "repro.solver")
+
 
 def default_cache_dir() -> str:
     """``REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else

@@ -1,0 +1,32 @@
+"""Solver-backed model checking (the third checking engine).
+
+``repro.solver`` lowers a litmus :class:`~repro.litmus.program.Program`
+to CNF and enumerates its race-relevant execution classes with a small
+dependency-free CDCL SAT solver, instead of walking every interleaving
+the way :mod:`repro.core.executions` does.  The modules:
+
+- :mod:`repro.solver.sat` — the CDCL core (two-watched-literal
+  propagation, 1UIP learning, VSIDS activity, restarts, incremental
+  ``solve(assumptions=...)`` with unsat cores);
+- :mod:`repro.solver.encode` — per-thread symbolic grounding plus the
+  CNF encoding over reads-from / coherence / order variables;
+- :mod:`repro.solver.bridge` — the AllSAT loop that decodes each model
+  back into a concrete :class:`~repro.core.events.Execution` and packs
+  them into an :class:`~repro.core.executions.SCEnumeration`, which is
+  what ``model.check(engine="sat")`` consumes.
+
+See the "Solver-backed checking" section of ``docs/performance.md`` for
+the encoding sketch and the engine-selection rules.
+"""
+
+from repro.solver.sat import SatStats, Solver
+from repro.solver.encode import SolverCapacityError, encode_program
+from repro.solver.bridge import sat_enumeration
+
+__all__ = [
+    "SatStats",
+    "Solver",
+    "SolverCapacityError",
+    "encode_program",
+    "sat_enumeration",
+]

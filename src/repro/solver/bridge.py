@@ -1,0 +1,395 @@
+"""AllSAT bridge: decode solver models into concrete executions.
+
+:func:`sat_enumeration` is the solver-backed twin of
+:func:`repro.core.executions.enumerate_sc_executions`: it returns an
+:class:`~repro.core.executions.SCEnumeration` whose executions are the
+program's race-relevant execution classes, one per satisfying
+assignment.  The loop is:
+
+1. ``solve()`` the encoding (incremental — learnt clauses persist);
+2. check the committed order edges (program order, reads-from, assigned
+   order variables) for cycles; a cyclic model is rejected with a
+   *guarded* blocking clause (the ``sel`` guards keep the clause valid
+   for every other shape selection) and the solver re-run — this is the
+   lazy half of the order-variable transitivity encoding;
+3. topologically sort the selected instances into a concrete SC total
+   order T and rebuild a full :class:`~repro.core.events.Execution`
+   (events, rf, deps, RMW pairs, final state), so the existing race
+   analyses run unchanged;
+4. block the model's *race signature* — the selected shapes, the
+   reads-from choice and the coherence order (the same projection
+   :func:`repro.core.races.race_signature` dedups on) — so the solver
+   yields exactly one model per execution class, and continue until
+   UNSAT.
+
+Because one class stands in for its whole havoc fan-out,
+``executions_explored`` counts classes (the enumerator counts all
+distinct executions) and ``truncated_paths`` counts locally truncated
+thread branches (the enumerator counts truncated interleavings); race
+verdicts and printed witnesses are identical.  ``expand_registers=True``
+re-expands every final-register variant of each class into its own
+execution — the mode the differential tests use to compare canonical
+execution sets against the enumerator one-to-one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import Event, Execution, RmwInfo
+from repro.core.executions import EnumStats, SCEnumeration
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.litmus.program import Program
+from repro.solver.encode import (
+    MAX_TRACES_PER_THREAD,
+    Encoding,
+    Inst,
+    SolverCapacityError,
+)
+
+#: Safety valve on distinct classes enumerated when the caller sets none.
+DEFAULT_MAX_CLASSES = 100_000
+
+
+def _selected_shapes(enc: Encoding):
+    solver = enc.solver
+    chosen = []
+    for tid, shapes in enumerate(enc.shapes):
+        picked = [s for s in shapes if solver.value(enc.sel_var[(tid, s.index)])]
+        assert len(picked) == 1, "exactly-one selection violated"
+        chosen.append(picked[0])
+    return chosen
+
+
+def _model_edges(enc: Encoding, shapes) -> Tuple[Dict[int, List], Dict[int, int]]:
+    """Committed order edges among the selected program instances, with
+    provenance tags for cycle blocking, plus each read's rf source."""
+    solver = enc.solver
+    selected = {
+        i.gid for i in enc.insts
+        if not i.is_init and i.shape is shapes[i.tid]
+    }
+    edges: Dict[int, List[Tuple[int, Tuple]]] = {gid: [] for gid in selected}
+    # Program order: chain consecutive events of each selected shape.
+    by_gid = enc.by_gid
+    per_thread: Dict[int, List[Inst]] = {}
+    for gid in selected:
+        per_thread.setdefault(by_gid[gid].tid, []).append(by_gid[gid])
+    for insts in per_thread.values():
+        insts.sort(key=lambda i: i.pos)
+        for a, b in zip(insts, insts[1:]):
+            edges[a.gid].append((b.gid, ("po",)))
+    # Reads-from: source write precedes the read (init sources are first
+    # in T by construction and need no edge).
+    rf_source: Dict[int, int] = {}
+    for r_gid, cands in enc.rf_candidates.items():
+        if r_gid not in selected:
+            continue
+        for w_gid in cands:
+            var = enc.rf_var[(r_gid, w_gid)]
+            if solver.value(var):
+                rf_source[r_gid] = w_gid
+                w = by_gid[w_gid]
+                if not w.is_init and w.gid in selected:
+                    edges[w_gid].append((r_gid, ("rf", var)))
+                break
+    # Assigned order variables (both polarities) between selected pairs.
+    for (a_gid, b_gid), var in enc.o_var.items():
+        if a_gid in selected and b_gid in selected:
+            if solver.value(var):
+                edges[a_gid].append((b_gid, ("o", var)))
+            else:
+                edges[b_gid].append((a_gid, ("o", -var)))
+    return edges, rf_source
+
+
+def _find_cycle(edges: Dict[int, List]) -> Optional[Tuple[List[int], List[Tuple]]]:
+    """One cycle in the committed-edge digraph, as (nodes, edge tags)."""
+    color = dict.fromkeys(edges, 0)  # 0 white, 1 gray, 2 black
+    for root in edges:
+        if color[root]:
+            continue
+        path = [root]
+        entry_tag: List[Optional[Tuple]] = [None]
+        iters = [iter(edges[root])]
+        pos_in_path = {root: 0}
+        color[root] = 1
+        while path:
+            try:
+                dst, tag = next(iters[-1])
+            except StopIteration:
+                done = path.pop()
+                iters.pop()
+                entry_tag.pop()
+                del pos_in_path[done]
+                color[done] = 2
+                continue
+            c = color.get(dst, 2)
+            if c == 2:
+                continue
+            if c == 1:
+                i = pos_in_path[dst]
+                return path[i:], entry_tag[i + 1:] + [tag]
+            color[dst] = 1
+            pos_in_path[dst] = len(path)
+            path.append(dst)
+            entry_tag.append(tag)
+            iters.append(iter(edges[dst]))
+    return None
+
+
+def _cycle_clause(enc: Encoding, nodes: List[int], tags: List[Tuple]) -> List[int]:
+    """Blocking clause for one order cycle, guarded by the selection of
+    every shape involved so the clause stays valid globally."""
+    lits: set = set()
+    for gid in nodes:
+        inst = enc.by_gid[gid]
+        lits.add(-enc.sel_var[(inst.tid, inst.shape.index)])
+    for tag in tags:
+        if tag[0] in ("rf", "o"):
+            lits.add(-tag[1])
+    return sorted(lits, key=abs)
+
+
+def _blocking_clause(enc: Encoding, shapes, rf_source: Dict[int, int]) -> List[int]:
+    """Negation of the model's race signature: shape selection, rf choice
+    and coherence order (same-location cross-thread write order)."""
+    solver = enc.solver
+    lits = [-enc.sel_var[(tid, s.index)] for tid, s in enumerate(shapes)]
+    for r_gid, w_gid in rf_source.items():
+        lits.append(-enc.rf_var[(r_gid, w_gid)])
+    selected = {
+        i.gid for i in enc.insts
+        if not i.is_init and i.shape is shapes[i.tid]
+    }
+    by_gid = enc.by_gid
+    for (a_gid, b_gid), var in enc.o_var.items():
+        if a_gid not in selected or b_gid not in selected:
+            continue
+        a, b = by_gid[a_gid], by_gid[b_gid]
+        if a.kind == "W" and b.kind == "W" and a.loc == b.loc:
+            lits.append(-var if solver.value(var) else var)
+    return lits
+
+
+def _decode(
+    enc: Encoding,
+    shapes,
+    edges: Dict[int, List],
+    rf_source: Dict[int, int],
+    final_registers,
+) -> Execution:
+    """Rebuild a concrete :class:`Execution` from an acyclic model.
+
+    The total order is the *lexicographically least* (by thread id)
+    linear extension of the committed edges, scheduled at instruction
+    granularity — an RMW's two halves are emitted back to back, exactly
+    like the enumerator's atomic steps.  The enumerator's DFS tries
+    thread 0 first at every step, so its first-found member of each
+    execution class is this same greedy schedule: the two engines then
+    print byte-identical witnesses, not merely equivalent ones.
+    """
+    by_gid = enc.by_gid
+    # Group the selected events into scheduling steps: an RMW pair is one
+    # step, every other event its own.  ``step_of`` maps gid -> step key;
+    # a step is (tid, first pos, [gids in po order]).
+    step_of: Dict[int, Tuple[int, int]] = {}
+    step_gids: Dict[Tuple[int, int], List[int]] = {}
+    rmw_read_of: Dict[Tuple[int, int], int] = {}  # (tid, w_pos) -> r_pos
+    for tid, shape in enumerate(shapes):
+        for r_pos, w_pos in shape.rmw_pairs:
+            rmw_read_of[(tid, w_pos)] = r_pos
+    for gid in edges:
+        inst = by_gid[gid]
+        anchor = rmw_read_of.get((inst.tid, inst.pos), inst.pos)
+        key = (inst.tid, anchor)
+        step_of[gid] = key
+        step_gids.setdefault(key, []).append(gid)
+    for gids in step_gids.values():
+        gids.sort(key=lambda g: by_gid[g].pos)
+    # Kahn over steps: a step is ready when every cross-step in-edge of
+    # every event in it is satisfied; ties break on the lowest thread id.
+    indeg = dict.fromkeys(step_gids, 0)
+    for src, outs in edges.items():
+        src_step = step_of[src]
+        for dst, _tag in outs:
+            dst_step = step_of[dst]
+            if dst_step != src_step:
+                indeg[dst_step] += 1
+    heap = [key for key, d in indeg.items() if d == 0]
+    heapq.heapify(heap)
+    t_order: List[Inst] = list(enc.init_insts)
+    while heap:
+        key = heapq.heappop(heap)
+        for gid in step_gids[key]:
+            t_order.append(by_gid[gid])
+            for dst, _tag in edges[gid]:
+                dst_step = step_of[dst]
+                if dst_step == key:
+                    continue
+                indeg[dst_step] -= 1
+                if not indeg[dst_step]:
+                    heapq.heappush(heap, dst_step)
+
+    eid_of: Dict[int, int] = {}
+    events: List[Event] = []
+    final_memory: Dict[str, int] = {}
+    for eid, inst in enumerate(t_order):
+        eid_of[inst.gid] = eid
+        events.append(Event(
+            eid, inst.tid, inst.kind, inst.loc, inst.value, inst.label,
+            inst.pos, inst.is_init,
+        ))
+        if inst.kind == "W":
+            final_memory[inst.loc] = inst.value
+
+    rf_map = {eid_of[r]: eid_of[w] for r, w in rf_source.items()}
+    # Thread-local positions -> eids, for deps and RMW pairs.
+    pos_eid: Dict[Tuple[int, int], int] = {
+        (inst.tid, inst.pos): eid_of[inst.gid]
+        for inst in t_order if not inst.is_init
+    }
+    rmw_pairs: List[Tuple[int, int]] = []
+    rmw_info: Dict[int, RmwInfo] = {}
+    dep_edges: Dict[str, List[Tuple[int, int]]] = {"addr": [], "data": [], "ctrl": []}
+    for tid, shape in enumerate(shapes):
+        for r_pos, w_pos in shape.rmw_pairs:
+            rmw_pairs.append((pos_eid[(tid, r_pos)], pos_eid[(tid, w_pos)]))
+        for w_pos, op, operand, operand2 in shape.rmw_info:
+            rmw_info[pos_eid[(tid, w_pos)]] = RmwInfo(op, operand, operand2)
+        for name, local_edges in shape.deps.items():
+            dep_edges[name].extend(
+                (pos_eid[(tid, s)], pos_eid[(tid, d)]) for s, d in local_edges
+            )
+    return Execution(
+        events=events,
+        order=list(range(len(events))),
+        rf_map=rf_map,
+        rmw_pairs=rmw_pairs,
+        dep_edges=dep_edges,
+        final_memory=final_memory,
+        final_registers=final_registers,
+        rmw_info=rmw_info,
+    )
+
+
+def _enumerate_sat(
+    program: Program,
+    max_executions: Optional[int],
+    expand_registers: bool,
+    max_traces: int,
+    tracer: Tracer,
+) -> SCEnumeration:
+    enc = Encoding(program, max_traces)
+    solver = enc.solver
+    stats = EnumStats(engine="sat")
+    trace_on = tracer.enabled
+    scope = tracer.scope(f"sat:{program.name}", cycle=0.0, component="solver")
+    executions: List[Execution] = []
+    classes = 0
+    cap = max_executions if max_executions is not None else DEFAULT_MAX_CLASSES
+    while classes < cap and solver.solve():
+        shapes = _selected_shapes(enc)
+        edges, rf_source = _model_edges(enc, shapes)
+        cycle = _find_cycle(edges)
+        if cycle is not None:
+            # Lazy transitivity: reject this order assignment and retry.
+            solver.add_clause(_cycle_clause(enc, *cycle))
+            if trace_on:
+                tracer.emit(stats.steps, "solver", "order_cycle",
+                            length=len(cycle[0]))
+            continue
+        classes += 1
+        representative = [dict(s.reg_variants[0]) for s in shapes]
+        execution = _decode(enc, shapes, edges, rf_source, representative)
+        executions.append(execution)
+        if expand_registers:
+            variants = _register_products(shapes)
+            for combo in variants[1:]:  # [0] is the representative
+                executions.append(Execution(
+                    events=execution.events,
+                    order=execution.order,
+                    rf_map=execution._rf_map,
+                    rmw_pairs=execution._rmw_pairs,
+                    dep_edges=execution._dep_edges,
+                    final_memory=execution.final_memory,
+                    final_registers=combo,
+                    rmw_info=execution.rmw_info,
+                ))
+        if trace_on:
+            tracer.emit(stats.steps, "solver", "execution", distinct=classes)
+        solver.add_clause(_blocking_clause(enc, shapes, rf_source))
+    stats.steps = solver.stats.propagations
+    stats.completed_paths = classes
+    scope.close(solver.stats.conflicts)
+    return SCEnumeration(
+        program=program,
+        executions=tuple(executions),
+        truncated_paths=enc.truncated,
+        interleavings=classes,
+        stats=stats,
+    )
+
+
+def _register_products(shapes) -> List[List[Dict[str, int]]]:
+    """Every combination of the per-thread final-register variants, the
+    representative (first variant everywhere) first."""
+    combos: List[List[Dict[str, int]]] = [[]]
+    for shape in shapes:
+        combos = [
+            prefix + [dict(variant)]
+            for prefix in combos
+            for variant in shape.reg_variants
+        ]
+    return combos
+
+
+def sat_enumeration(
+    program: Program,
+    max_executions: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    cache=None,
+    expand_registers: bool = False,
+    max_traces: int = MAX_TRACES_PER_THREAD,
+) -> SCEnumeration:
+    """Enumerate *program*'s execution classes with the SAT engine.
+
+    The result mirrors :func:`enumerate_sc_executions` (and is consumed
+    by the same ``classify_enumeration``), with the counting differences
+    described in the module docstring.  Raises
+    :class:`SolverCapacityError` when grounding exceeds the caps —
+    callers fall back to the explicit enumerator.  ``cache`` works like
+    the enumerator's: a :data:`repro.perf.cache.CacheSpec` keyed on the
+    program text, the arguments and a fingerprint of the
+    ``repro.core``/``repro.litmus``/``repro.solver`` sources.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+
+    store = key = None
+    if cache is not None and not tracer.enabled:
+        from repro.perf.cache import (
+            SOLVER_CODE_PACKAGES, code_fingerprint, resolve_cache,
+        )
+
+        store = resolve_cache(cache)
+        if store is not None:
+            key = store.key(
+                "sat_enumeration",
+                {
+                    "program": repr(program),
+                    "max_executions": max_executions,
+                    "expand_registers": expand_registers,
+                    "code": code_fingerprint(SOLVER_CODE_PACKAGES),
+                },
+            )
+            found, value = store.get(key, codec="pickle")
+            if found and isinstance(value, SCEnumeration):
+                return value
+
+    result = _enumerate_sat(
+        program, max_executions, expand_registers, max_traces, tracer
+    )
+    if store is not None:
+        store.put(key, result, codec="pickle")
+    return result

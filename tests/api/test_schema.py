@@ -39,8 +39,21 @@ class TestValidation:
             "exhaustive": True,
             "max_executions": None,
             "trace": False,
+            "engine": "enum",
         }
         assert normalized["id"] is None
+
+    def test_check_engine_option_accepted(self):
+        for engine in ("enum", "sat", "auto"):
+            normalized = validate_request(
+                _check_request(options={"engine": engine})
+            )
+            assert normalized["options"]["engine"] == engine
+
+    def test_check_engine_option_validated(self):
+        with pytest.raises(SchemaError) as err:
+            validate_request(_check_request(options={"engine": "z3"}))
+        assert err.value.code == "bad_field"
 
     def test_id_is_echoed(self):
         assert validate_request(_check_request(id="req-1"))["id"] == "req-1"
@@ -54,7 +67,9 @@ class TestValidation:
 
     def test_audit_defaults(self):
         normalized = validate_request({"schema_version": 1, "kind": "audit"})
-        assert normalized["options"] == {"backend": "auto", "dedup": True}
+        assert normalized["options"] == {
+            "backend": "auto", "dedup": True, "engine": "enum",
+        }
 
     @pytest.mark.parametrize(
         "raw, code",

@@ -52,12 +52,13 @@ def test_bench_harness_emits_valid_json(tmp_path):
         sweep_names=("SC",),
         enum_programs=programs,
         stress=False,
+        quick=True,  # shrinks the solver scaling sweep, nothing else
     )
     with open(path) as handle:
         record = json.load(handle)
     assert set(record) == {
-        "date", "host", "enumeration", "relcheck", "sweep", "simgen",
-        "tracing", "cache", "serve",
+        "date", "host", "enumeration", "relcheck", "solver", "sweep",
+        "simgen", "tracing", "cache", "serve",
     }
     assert record["host"]["cpu_count"] >= 1
     relcheck = record["relcheck"]
@@ -87,6 +88,16 @@ def test_bench_harness_emits_valid_json(tmp_path):
     assert serve["requests"] == serve["checks"] + serve["sweeps"]
     assert serve["speedup"] > 1.0
     assert serve["p50_ms_warm"] <= serve["p99_ms_warm"]
+    solver = record["solver"]
+    assert solver["corpus_verdicts_identical"] is True
+    assert solver["corpus_checks"] == \
+        solver["corpus_sat"] + solver["corpus_capacity_fallbacks"]
+    assert solver["corpus_sat"] > 3 * solver["corpus_capacity_fallbacks"]
+    assert set(solver["families"]) == {"scaled_chain", "scaled_mp"}
+    for row in solver["per_program"]:
+        assert row["wall_s_sat"] > 0
+    assert solver["wall_s_scaling_sat"] > 0
+    assert solver["wall_s_scaling_enum"] > 0
 
 
 @pytest.mark.bench
@@ -100,5 +111,55 @@ def test_bench_cli_quick(tmp_path, capsys):
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
     assert "cache:" in out and "simgen:" in out and "relcheck:" in out
-    assert "serve:" in out
+    assert "serve:" in out and "solver:" in out
     assert "deprecated" in captured.err
+
+
+class TestCompareBaseline:
+    """``--baseline``: diff a bench record against an earlier one and
+    warn on wall-time regressions past the threshold."""
+
+    def _record(self, enum_default, serve_cold=0.5):
+        return {
+            "enumeration": {"wall_s_default": enum_default, "programs": 3},
+            "serve": {"wall_s_cold": serve_cold},
+        }
+
+    def test_improvement_and_regression_lines(self):
+        from repro.perf.bench import REGRESSION_THRESHOLD, compare_baseline
+
+        lines = compare_baseline(
+            self._record(enum_default=0.5, serve_cold=0.2),
+            self._record(enum_default=1.0, serve_cold=0.1),
+        )
+        joined = "\n".join(lines)
+        assert "enumeration.default: 1000.0ms -> 500.0ms (-50.0%)" in joined
+        assert "serve.cold: 100.0ms -> 200.0ms (+100.0%)" in joined
+        regressions = [l for l in lines if "WARNING" in l]
+        assert len(regressions) == 1 and "serve.cold" in regressions[0]
+        assert lines[-1] == \
+            f"1 regression warning(s) past {REGRESSION_THRESHOLD:.0%}"
+
+    def test_within_threshold_is_not_flagged(self):
+        from repro.perf.bench import compare_baseline
+
+        lines = compare_baseline(
+            self._record(enum_default=1.1), self._record(enum_default=1.0)
+        )
+        assert not any("WARNING" in l for l in lines)
+        assert "no regressions" in lines[-1]
+
+    def test_disjoint_records_degrade_gracefully(self):
+        from repro.perf.bench import compare_baseline
+
+        lines = compare_baseline({"solver": {"speedup": 9.0}}, {})
+        assert lines == ["no comparable wall_s_* metrics between the records"]
+
+    def test_non_numeric_baseline_values_skipped(self):
+        from repro.perf.bench import compare_baseline
+
+        lines = compare_baseline(
+            self._record(enum_default=1.0),
+            {"enumeration": {"wall_s_default": "corrupt"}},
+        )
+        assert lines == ["no comparable wall_s_* metrics between the records"]

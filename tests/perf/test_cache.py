@@ -129,6 +129,51 @@ class TestCodeFingerprint:
         assert before != after
 
 
+class TestSolverFingerprint:
+    """Satellite: the solver sources are a cache-key ingredient, so
+    editing any fingerprinted module invalidates cached check results
+    end-to-end (stale enumerations can never satisfy a check)."""
+
+    def test_solver_package_is_fingerprinted(self):
+        from repro.perf.cache import ENUM_CODE_PACKAGES, SOLVER_CODE_PACKAGES
+
+        assert "repro.solver" in SOLVER_CODE_PACKAGES
+        # A sat enumeration depends on everything the enumerator's does
+        # (program preparation, relabeling) plus the solver itself.
+        assert set(ENUM_CODE_PACKAGES) <= set(SOLVER_CODE_PACKAGES)
+
+    def test_editing_fingerprinted_module_invalidates_cached_checks(
+        self, store, tmp_path, monkeypatch
+    ):
+        import repro.perf.cache as cache_mod
+        from repro.core.model import _prepare
+        from repro.solver import sat_enumeration
+
+        pkg = tmp_path / "fp_solver_probe_pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("VALUE = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        monkeypatch.setattr(
+            cache_mod, "SOLVER_CODE_PACKAGES", ("fp_solver_probe_pkg",)
+        )
+        code_fingerprint.cache_clear()
+        try:
+            program = _prepare(get_litmus("mp_paired").program, "drf0")
+            sat_enumeration(program, cache=store)
+            assert (store.hits, store.stores) == (0, 1)
+            # Same sources: the second run is answered from the cache.
+            sat_enumeration(program, cache=store)
+            assert (store.hits, store.stores) == (1, 1)
+            # Edit a fingerprinted module: the cached enumeration must
+            # be a miss, and the recomputed result is stored anew.
+            (pkg / "__init__.py").write_text("VALUE = 2\n")
+            code_fingerprint.cache_clear()
+            sat_enumeration(program, cache=store)
+            assert (store.hits, store.stores) == (1, 2)
+        finally:
+            code_fingerprint.cache_clear()
+
+
 class TestCorruption:
     """Satellite: corrupted/truncated entries are a miss, never a crash."""
 

@@ -1,0 +1,140 @@
+"""Engine selection and integration: ``model.check(engine=...)`` and the
+surfaces it threads through (audit, api payloads, runtime metrics).
+
+The differential suite (:mod:`tests.solver.test_differential`) proves
+the SAT engine *agrees* with the enumerator; this module pins the
+plumbing — routing, fallback, and how the resolved engine is reported.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.api import check_program
+from repro.core.executions import static_step_bound
+from repro.core.model import ENGINES, SMALL_PROGRAM_STEPS, _prepare, check
+from repro.litmus.corpus import CORPUS_DIR
+from repro.litmus.library import get, scaled_chain
+from repro.obs.metrics import RUNTIME
+from repro.perf.audit import audit_corpus
+
+MP = get("mp_paired").program
+
+
+class TestEngineSelection:
+    def test_sat_engine_is_recorded(self):
+        result = check(MP, "drf0", engine="sat")
+        assert result.engine == "sat"
+
+    def test_enum_engine_is_recorded(self):
+        result = check(MP, "drf0", engine="enum")
+        assert result.engine == "enum"
+
+    def test_auto_routes_small_programs_to_enum(self):
+        program = scaled_chain(2)
+        assert static_step_bound(_prepare(program, "drf0")) \
+            <= SMALL_PROGRAM_STEPS
+        assert check(program, "drf0", engine="auto").engine == "enum"
+
+    def test_auto_routes_large_programs_to_sat(self):
+        program = scaled_chain(6)
+        assert static_step_bound(_prepare(program, "drf0")) \
+            > SMALL_PROGRAM_STEPS
+        assert check(program, "drf0", engine="auto").engine == "sat"
+
+    def test_naive_forces_the_enumerator(self):
+        result = check(MP, "drf0", engine="sat", naive=True)
+        assert result.engine == "enum"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            check(MP, "drf0", engine="z3")
+        assert set(ENGINES) == {"enum", "sat", "auto"}
+
+    def test_capacity_fallback_reroutes_to_enum(self):
+        """ref_counter's deep RMW chains exceed the encoder's capacity
+        caps under DRFrlx; ``engine="sat"`` must absorb the
+        SolverCapacityError and deliver the enumerator's verdict."""
+        from repro.litmus.dsl import parse
+
+        with open(os.path.join(CORPUS_DIR, "ref_counter.litmus")) as handle:
+            program = parse(handle.read())
+        result = check(program, "drfrlx", engine="sat")
+        assert result.engine == "enum"
+        assert check(program, "drfrlx", engine="enum").legal == result.legal
+
+    def test_engine_invariant_verdict_fields(self):
+        """Counting fields may differ (classes vs interleavings); the
+        verdict fields may not."""
+        a = check(MP, "drfrlx", engine="enum")
+        b = check(MP, "drfrlx", engine="sat")
+        assert (a.legal, a.race_kinds) == (b.legal, b.race_kinds)
+        assert b.executions_explored == b.execution_classes
+
+
+class TestRuntimeMetric:
+    def test_sat_resolution_recorded_once(self):
+        check(MP, "drf0", engine="sat")
+        assert RUNTIME.get("check_engine_resolved:sat") == 1.0
+        # Once per process: a second sat check does not bump it again.
+        check(MP, "drf1", engine="sat")
+        assert RUNTIME.get("check_engine_resolved:sat") == 1.0
+
+
+class TestAuditIntegration:
+    def test_audit_records_engine_per_model(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        for name in ("mp_paired.litmus", "ref_counter.litmus"):
+            shutil.copy(os.path.join(CORPUS_DIR, name), corpus / name)
+        results = audit_corpus(str(corpus), jobs=1, engine="sat")
+        assert len(results) == 2
+        by_name = {os.path.basename(r.path): r for r in results}
+        assert all(r.ok for r in results)
+        mp = by_name["mp_paired.litmus"]
+        assert mp.engines and set(mp.engines.values()) == {"sat"}
+        # The fallback is visible in the audit report, per model.
+        ref = by_name["ref_counter.litmus"]
+        assert ref.engines["drfrlx"] == "enum"
+
+    def test_audit_verdicts_engine_invariant(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        for name in ("mp_paired.litmus", "mp_unpaired.litmus"):
+            shutil.copy(os.path.join(CORPUS_DIR, name), corpus / name)
+        enum_res = audit_corpus(str(corpus), jobs=1, engine="enum")
+        sat_res = audit_corpus(str(corpus), jobs=1, engine="sat")
+        assert [r.verdicts for r in enum_res] == [r.verdicts for r in sat_res]
+
+
+class TestApiIntegration:
+    def test_check_payload_reports_engine(self):
+        response = check_program(name="mp_paired", models=["drf0"],
+                                 engine="sat")
+        assert response["ok"], response
+        assert response["result"]["models"]["drf0"]["engine"] == "sat"
+
+    def test_check_payload_defaults_to_enum(self):
+        response = check_program(name="mp_paired", models=["drf0"])
+        assert response["ok"], response
+        assert response["result"]["models"]["drf0"]["engine"] == "enum"
+
+    def test_check_payloads_engine_invariant(self):
+        """The verdict surface of the payload is engine-invariant; the
+        counting fields (executions = classes for sat, witness indices,
+        truncated branches) legitimately differ and are excluded."""
+        counting = ("engine", "executions", "execution_classes",
+                    "analyses_run", "truncated_paths", "witnesses")
+        a = check_program(name="mp_paired", engine="enum")
+        b = check_program(name="mp_paired", engine="sat")
+        assert a["ok"] and b["ok"]
+        assert a["result"]["models"].keys() == b["result"]["models"].keys()
+        for model in a["result"]["models"]:
+            va = a["result"]["models"][model]
+            vb = b["result"]["models"][model]
+            assert {k: v for k, v in va.items() if k not in counting} == \
+                {k: v for k, v in vb.items() if k not in counting}
+            # Same printed races, whatever the per-member fan-out.
+            assert {w["race"] for w in va["witnesses"]} == \
+                {w["race"] for w in vb["witnesses"]}
