@@ -171,7 +171,7 @@ def shard_request(
 
 def _check_payload(result) -> Dict[str, Any]:
     """The v1 payload for one :class:`~repro.core.model.CheckResult`."""
-    return {
+    payload = {
         "legal": result.legal,
         "race_kinds": list(result.race_kinds),
         "executions": result.executions_explored,
@@ -188,6 +188,14 @@ def _check_payload(result) -> Dict[str, Any]:
             for w in result.witnesses
         ],
     }
+    # Additive: only solver-backed checks carry stats, so enum-engine
+    # responses (and every pre-existing golden fixture) are unchanged.
+    # Wall times are deliberately excluded — the payload stays a pure
+    # function of the request.
+    stats = getattr(result, "solver_stats", None)
+    if stats is not None:
+        payload["solver_stats"] = dict(stats.counters(), shared=stats.shared)
+    return payload
 
 
 def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
@@ -251,16 +259,25 @@ def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
             (shard["path"], cache, options["backend"], options["dedup"],
              options["engine"])
         )
+        # solver_stats rides along only for sat-engine checks, so the
+        # payload for enum audits (every pre-existing fixture) is
+        # byte-for-byte what it was before the field existed.
         return {
             "name": result.name,
             "ok": result.ok,
             "verdicts": {
-                model: {
-                    "expected": expected,
-                    "actual": actual,
-                    "race_kinds": list(kinds),
-                    "engine": result.engines.get(model, "enum"),
-                }
+                model: dict(
+                    {
+                        "expected": expected,
+                        "actual": actual,
+                        "race_kinds": list(kinds),
+                        "engine": result.engines.get(model, "enum"),
+                    },
+                    **(
+                        {"solver_stats": result.solver_stats[model]}
+                        if model in result.solver_stats else {}
+                    ),
+                )
                 for model, (expected, actual, kinds) in sorted(
                     result.verdicts.items()
                 )

@@ -73,7 +73,11 @@ ENGINES = ("auto", "compiled", "vectorized", "reference")
 #: ``repro.core.model.ENGINES``).  Added post-v1 as an optional field
 #: whose default, "enum", is the pre-existing behavior, so every old
 #: request stays valid and means what it always did; no version bump.
-CHECK_ENGINES = ("enum", "sat", "auto")
+#: "portfolio" races enum against sat and keeps the winner — verdicts
+#: are engine-independent, but the work-accounting fields (``engine``,
+#: ``executions``) depend on which engine won, so portfolio responses
+#: are not run-to-run byte-stable the way the single-engine ones are.
+CHECK_ENGINES = ("enum", "sat", "auto", "portfolio")
 
 #: Error codes an ``ok: false`` response may carry.
 ERROR_CODES = (

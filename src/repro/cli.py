@@ -129,7 +129,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf harness and print its summary."""
-    from repro.perf.bench import compare_baseline, run_bench, summarize
+    from repro.perf.bench import (
+        baseline_regressions, compare_baseline, run_bench, summarize,
+    )
 
     _cli_cache(args, default=False)  # bench manages its own caches; honor --cache-clear
     sections = (
@@ -142,10 +144,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
     if args.quick:
+        # Keep best-of---repeat timing even in quick mode: best-of-1
+        # wall times jitter past the baseline gate's threshold on busy
+        # runners, and the workloads are tiny at scale 0.05 anyway.
         path = run_bench(
-            out_dir=args.out or ".", scale=0.05, jobs=args.jobs, repeat=1,
-            sweep_names=("SC", "SEQ"), stress=False, engine=args.engine,
-            sections=sections, quick=True,
+            out_dir=args.out or ".", scale=0.05, jobs=args.jobs,
+            repeat=args.repeat, sweep_names=("SC", "SEQ"), stress=False,
+            engine=args.engine, sections=sections, quick=True,
         )
     else:
         path = run_bench(
@@ -160,6 +165,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"vs baseline {args.baseline}:")
         for line in compare_baseline(record, baseline):
             print(f"  {line}")
+        if args.baseline_fail and baseline_regressions(record, baseline):
+            print("baseline regression gate: FAIL", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -344,7 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=3,
                    help="timing repetitions, best-of (default 3)")
     p.add_argument("--quick", action="store_true",
-                   help="tiny smoke run (subset of workloads, scale 0.05)")
+                   help="tiny smoke run (subset of workloads, scale 0.05; "
+                        "--repeat still applies)")
     p.add_argument("--section", default=None, metavar="S[,S...]",
                    help="run only the named bench sections (comma-"
                         "separated), e.g. --section relcheck,simgen; "
@@ -353,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="diff this run's section timings against an "
                         "earlier BENCH_<date>.json, warning on >20%% "
                         "wall-time regressions")
+    p.add_argument("--baseline-fail", action="store_true",
+                   help="with --baseline: exit non-zero when any wall-time "
+                        "metric regressed past the 20%% threshold (CI's "
+                        "perf drift gate)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -363,11 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the v1 response envelope (one JSON line) "
                         "instead of per-file text; exit 0 ok / 1 failures "
                         "/ 2 request error")
-    p.add_argument("--check-engine", choices=("enum", "sat", "auto"),
+    p.add_argument("--check-engine",
+                   choices=("enum", "sat", "auto", "portfolio"),
                    default="enum", metavar="E",
                    help="model-checking engine: 'enum' walks every "
                         "interleaving, 'sat' enumerates execution classes "
-                        "with the CDCL solver, 'auto' picks per program "
+                        "with the CDCL solver, 'auto' routes per program "
+                        "via the calibrated cost model, 'portfolio' races "
+                        "enum against sat and keeps the winner "
                         "(default enum). Verdicts are identical either way")
     p.set_defaults(func=cmd_audit)
 
@@ -399,11 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the v1 response envelope (one JSON line) "
                         "instead of per-model text; exit 0 ok / 1 verdict "
                         "mismatch / 2 request error")
-    p.add_argument("--check-engine", choices=("enum", "sat", "auto"),
+    p.add_argument("--check-engine",
+                   choices=("enum", "sat", "auto", "portfolio"),
                    default="enum", metavar="E",
                    help="model-checking engine: 'enum' walks every "
                         "interleaving, 'sat' enumerates execution classes "
-                        "with the CDCL solver, 'auto' picks per program "
+                        "with the CDCL solver, 'auto' routes per program "
+                        "via the calibrated cost model, 'portfolio' races "
+                        "enum against sat and keeps the winner "
                         "(default enum). Verdicts are identical either way")
     p.set_defaults(func=cmd_litmus)
 

@@ -322,6 +322,11 @@ class SCEnumeration:
     truncated_paths: int
     interleavings: int
     stats: EnumStats = field(default_factory=EnumStats)
+    #: Solver counters/timings when a SAT engine produced this result
+    #: (a :class:`repro.solver.bridge.SolverStats`); None for the
+    #: explicit enumerators.  Typed loosely so ``repro.core`` keeps no
+    #: import edge into ``repro.solver``.
+    solver_stats: Optional[object] = None
 
     def final_results(self) -> Set[Tuple[Tuple[str, int], ...]]:
         """The set of results (final memory states) over all SC executions."""

@@ -39,15 +39,17 @@ MODELS = ("drf0", "drf1", "drfrlx")
 
 #: The checking engines ``check(engine=...)`` accepts.  ``"enum"`` is the
 #: explicit interleaving enumerator (the oracle), ``"sat"`` the
-#: solver-backed class enumerator (:mod:`repro.solver`), and ``"auto"``
-#: routes programs above the small-program gate to the solver while
-#: keeping the enumerator for programs it wins on anyway.
-ENGINES = ("enum", "sat", "auto")
+#: solver-backed class enumerator (:mod:`repro.solver`), ``"auto"``
+#: routes each prepared program to whichever of the two the calibrated
+#: cost model (:mod:`repro.solver.router`) predicts faster, and
+#: ``"portfolio"`` races both in child processes and keeps the first
+#: finisher (:mod:`repro.solver.portfolio`).
+ENGINES = ("enum", "sat", "auto", "portfolio")
 
-#: ``engine="auto"`` stays on the enumerator when the prepared program's
-#: static step bound is at or below this; tiny programs enumerate in
-#: microseconds and the CNF build would only add overhead.  See the
-#: crossover measurements in docs/performance.md.
+#: Fallback gate for ``engine="auto"`` when no router calibration is
+#: loadable (mirrors :data:`repro.solver.router.GATE_STEPS`): stay on
+#: the enumerator when the prepared program's static step bound is at or
+#: below this.  See the crossover measurements in docs/performance.md.
 SMALL_PROGRAM_STEPS = 4
 
 from repro.core.labels import effective_kind
@@ -98,6 +100,10 @@ class CheckResult:
     #: (and the ``race_kinds`` verdict built on it) is independent of
     #: enumeration order and of the checking engine.
     found_race_kinds: Tuple[str, ...] = ()
+    #: Solver work accounting (a :class:`repro.solver.bridge.SolverStats`)
+    #: when the sat engine produced this result; None under enum.  The
+    #: integer counters are deterministic; the wall times are not.
+    solver_stats: Optional[object] = None
 
     @property
     def race_kinds(self) -> Tuple[str, ...]:
@@ -283,22 +289,36 @@ def check(
     :mod:`repro.solver` (one model per class — verdicts and printed
     witnesses are identical, but ``executions_explored`` counts classes
     and ``truncated_paths`` counts locally truncated thread branches),
-    and ``"auto"`` picks the solver for programs whose static step bound
-    exceeds :data:`SMALL_PROGRAM_STEPS`.  The solver engine falls back to
-    the enumerator when the program exceeds its grounding capacity (deep
-    loops, huge value domains); ``naive=True`` always uses the
-    enumerator.  :attr:`CheckResult.engine` records the resolved choice.
+    ``"auto"`` consults the calibrated cost model of
+    :mod:`repro.solver.router` (falling back to the static
+    :data:`SMALL_PROGRAM_STEPS` gate without a calibration), and
+    ``"portfolio"`` races both engines in child processes and keeps the
+    first finisher (falling back to ``"auto"`` routing where racing is
+    unavailable).  The solver engine falls back to the enumerator when
+    the program exceeds its grounding capacity (deep loops, huge value
+    domains); ``naive=True`` always uses the enumerator.
+    :attr:`CheckResult.engine` records the resolved choice.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     prepared = _prepare(program, model)
-    use_sat = engine == "sat" or (
-        engine == "auto"
-        and static_step_bound(prepared) > SMALL_PROGRAM_STEPS
-    )
     engine_used = "enum"
     enumeration = None
-    if use_sat and not naive:
+    if engine == "portfolio" and not naive and tracer is None:
+        from repro.solver.portfolio import portfolio_enumeration
+
+        raced = portfolio_enumeration(prepared, max_executions=max_executions)
+        if raced is not None:
+            enumeration, engine_used = raced
+            record_resolution("check_engine_route", f"portfolio:{engine_used}")
+    use_sat = engine == "sat"
+    if engine in ("auto", "portfolio") and enumeration is None and not naive:
+        from repro.solver.router import decide
+
+        route = decide(prepared)
+        use_sat = route.engine == "sat"
+        record_resolution("check_engine_route", f"{route.source}:{route.engine}")
+    if use_sat and enumeration is None and not naive:
         from repro.solver import SolverCapacityError, sat_enumeration
 
         try:
@@ -336,6 +356,7 @@ def check(
         analyses_run=analyses,
         engine=engine_used,
         found_race_kinds=classified.race_kinds,
+        solver_stats=getattr(enumeration, "solver_stats", None),
     )
 
 

@@ -35,6 +35,10 @@ class AuditResult:
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]]
     #: model -> checking engine that actually ran ("enum" or "sat").
     engines: Dict[str, str] = field(default_factory=dict)
+    #: model -> deterministic solver counters (decisions, conflicts,
+    #: propagations, ...) for the models the sat engine checked; empty
+    #: for enum-only audits.
+    solver_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -59,13 +63,17 @@ def _audit_file(
     program = parse(text)
     verdicts: Dict[str, Tuple[bool, bool, Tuple[str, ...]]] = {}
     engines: Dict[str, str] = {}
+    solver_stats: Dict[str, Dict[str, int]] = {}
     for model, (legal, _kinds) in sorted(_parse_expectations(text).items()):
         result = check(program, model, cache=cache, backend=backend,
                        dedup=dedup, engine=engine)
         verdicts[model] = (legal, result.legal, result.race_kinds)
         engines[model] = result.engine
+        stats = getattr(result, "solver_stats", None)
+        if stats is not None:
+            solver_stats[model] = dict(stats.counters(), shared=stats.shared)
     return AuditResult(name=program.name, path=path, verdicts=verdicts,
-                       engines=engines)
+                       engines=engines, solver_stats=solver_stats)
 
 
 def audit_corpus(

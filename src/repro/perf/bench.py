@@ -113,6 +113,12 @@ def bench_enumeration(
     Also cross-checks that both engines produce identical execution sets
     on every program — a benchmark that silently diverged from the
     oracle would be measuring the wrong thing.
+
+    Repeats are interleaved (naive, default, naive, default, ...) rather
+    than run as one block per engine: block timing let transient load
+    land entirely on one engine and produced phantom per-program
+    "regressions" on sub-millisecond programs (the 0.8x outliers in
+    earlier bench records, where both columns ran the *same* code path).
     """
     if programs is None:
         programs = _corpus_programs()
@@ -132,18 +138,20 @@ def bench_enumeration(
     }
     for name, program in programs:
         keys = {}
-        times = {}
-        for engine, naive in (("naive", True), ("default", False)):
-            best = None
-            for _ in range(max(1, repeat)):
+        times: Dict[str, float] = {}
+        enums = {}
+        for _ in range(max(1, repeat)):
+            for engine, naive in (("naive", True), ("default", False)):
                 t0 = time.perf_counter()
                 enum = enumerate_sc_executions(program, naive=naive)
                 elapsed = time.perf_counter() - t0
-                best = elapsed if best is None else min(best, elapsed)
+                if engine not in times or elapsed < times[engine]:
+                    times[engine] = elapsed
+                enums[engine] = enum
+        for engine, enum in enums.items():
             keys[engine] = {e.canonical_key() for e in enum.executions}
-            times[engine] = best
-            wall[engine] += best
-            if naive:
+            wall[engine] += times[engine]
+            if engine == "naive":
                 totals["paths_naive"] += enum.stats.completed_paths
                 totals["steps_naive"] += enum.stats.steps
             else:
@@ -652,7 +660,8 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
     targets.  For each family, *n* sweeps upward from 4 until the
     enumerator's last check exceeds the time budget; the SAT engine
     keeps going to the sweep ceiling.  Timing is best-of-*repeat* via
-    :func:`repro.core.model.check` (uncached, ``drfrlx``).
+    :func:`repro.core.model.check` (uncached, ``drfrlx``; the shared
+    core memo is cleared per round so every sat figure is a cold check).
 
     Doubles as a correctness gate: at every *n* both engines ran, the
     full three-model verdicts (legal + race kinds) must be identical,
@@ -662,9 +671,27 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
     for every program and model — programs past the encoder's capacity
     caps fall back to the enumerator by design and are counted, not
     failed.  Target: >=5x at the largest *n* both engines finish.
+
+    Two subsections added by the incremental-solver PR:
+
+    - ``solver_incremental`` times the 3-model audit one-shot
+      (``shared=False``: each model encodes and solves from scratch, PR
+      8's behavior) against the shared-core path (encode once, keep the
+      CDCL instance warm, decode per model) on the sat-eligible corpus
+      and on both families at n>=8, interleaved best-of-*repeat*, with
+      execution-set/class-count/counter identity asserted between the
+      two and against the explicit enumerator.  Target: >=2x everywhere.
+    - ``router`` refits the engine-routing cost model
+      (:mod:`repro.solver.router`) from check-level enum vs cold-shared
+      sat timings measured here, records each program's feature vector,
+      decision and achieved speedup, and asserts no program is routed to
+      the slower engine.  The fitted calibration is returned under
+      ``calibration`` and persisted beside the bench JSON by
+      :func:`run_bench`.
     """
     from repro.core.model import MODELS, check
     from repro.litmus.library import scaled_chain, scaled_mp
+    from repro.solver.bridge import clear_core_memo
 
     budget_s = 2.0 if quick else 10.0
     max_n = 6 if quick else 10
@@ -685,6 +712,7 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
             for engine in ("enum", "sat") if run_enum else ("sat",):
                 best = None
                 for _ in range(rounds):
+                    clear_core_memo()
                     t0 = time.perf_counter()
                     result = check(program, "drfrlx", engine=engine)
                     elapsed = time.perf_counter() - t0
@@ -733,16 +761,24 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
             corpus_checks += 1
             a = check(program, model, engine="enum")
             b = check(program, model, engine="sat")
-            if (a.legal, a.race_kinds) != (b.legal, b.race_kinds):
+            if (a.legal, a.race_kinds, a.execution_classes) != \
+                    (b.legal, b.race_kinds, b.execution_classes):
                 raise AssertionError(
                     f"corpus verdict differs on {name}/{model}: "
-                    f"enum={(a.legal, a.race_kinds)} "
-                    f"sat={(b.legal, b.race_kinds)}"
+                    f"enum={(a.legal, a.race_kinds, a.execution_classes)} "
+                    f"sat={(b.legal, b.race_kinds, b.execution_classes)}"
                 )
             if b.engine == "sat":
                 sat_ran += 1
             else:
                 fallbacks += 1
+
+    incremental = _bench_solver_incremental(
+        families, repeat=repeat, quick=quick,
+    )
+    router, calibration = _bench_solver_router(
+        families, repeat=repeat, quick=quick,
+    )
 
     headline = max(speedup_at_largest.values()) if speedup_at_largest else 0.0
     return {
@@ -758,6 +794,10 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
         "wall_s_scaling_enum": sum(
             row.get("wall_s_enum", 0.0) for row in per_program
         ),
+        "wall_s_corpus_oneshot": incremental["corpus"]["wall_s_oneshot"],
+        "wall_s_corpus_incremental": incremental["corpus"][
+            "wall_s_incremental"
+        ],
         "crossover_threads": crossover,
         "speedup_at_largest_common": speedup_at_largest,
         "speedup": headline,
@@ -767,7 +807,295 @@ def bench_solver(repeat: int = 3, quick: bool = False) -> Dict:
         "corpus_capacity_fallbacks": fallbacks,
         "corpus_verdicts_identical": True,
         "per_program": per_program,
+        "solver_incremental": incremental,
+        "router": router,
+        "calibration": calibration,
     }
+
+
+def _canonical_keys(enumeration) -> set:
+    return {e.canonical_key() for e in enumeration.executions}
+
+
+def _bench_solver_incremental(families, repeat: int, quick: bool) -> Dict:
+    """Shared-core (incremental) vs one-shot sat: timings + identity.
+
+    One unit of work is the full 3-model audit of a program: the
+    one-shot column encodes and solves each model from scratch, the
+    incremental column serves all three models from one cold
+    label-erased core.  Repeats interleave the two columns.
+    """
+    from repro.core.executions import enumerate_sc_executions
+    from repro.core.model import MODELS, _prepare
+    from repro.solver.bridge import clear_core_memo, sat_enumeration
+    from repro.solver.encode import SolverCapacityError
+
+    reps = max(1, repeat)
+
+    def audit_oneshot(programs) -> float:
+        t0 = time.perf_counter()
+        for program in programs:
+            for model in MODELS:
+                sat_enumeration(_prepare(program, model), shared=False)
+        return time.perf_counter() - t0
+
+    def audit_incremental(programs) -> float:
+        clear_core_memo()
+        t0 = time.perf_counter()
+        for program in programs:
+            for model in MODELS:
+                sat_enumeration(_prepare(program, model), shared=True)
+        return time.perf_counter() - t0
+
+    def assert_identity(program, expand: bool) -> None:
+        clear_core_memo()
+        for model in MODELS:
+            prepared = _prepare(program, model)
+            one = sat_enumeration(
+                prepared, expand_registers=expand, shared=False,
+            )
+            inc = sat_enumeration(
+                prepared, expand_registers=expand, shared=True,
+            )
+            if _canonical_keys(one) != _canonical_keys(inc):
+                raise AssertionError(
+                    f"incremental execution set differs on "
+                    f"{program.name}/{model}"
+                )
+            if (one.interleavings, one.truncated_paths, one.stats.steps) != \
+                    (inc.interleavings, inc.truncated_paths, inc.stats.steps):
+                raise AssertionError(
+                    f"incremental class accounting differs on "
+                    f"{program.name}/{model}"
+                )
+            if one.solver_stats.counters() != inc.solver_stats.counters():
+                raise AssertionError(
+                    f"incremental solver counters differ on "
+                    f"{program.name}/{model}"
+                )
+            if expand:
+                ref = enumerate_sc_executions(prepared)
+                if _canonical_keys(ref) != _canonical_keys(inc):
+                    raise AssertionError(
+                        f"sat execution set differs from enum on "
+                        f"{program.name}/{model}"
+                    )
+
+    # -- sat-eligible corpus ------------------------------------------------
+    eligible: List[Program] = []
+    capacity_fallbacks = 0
+    for _name, program in _corpus_programs():
+        try:
+            for model in MODELS:
+                sat_enumeration(_prepare(program, model), shared=False)
+            eligible.append(program)
+        except SolverCapacityError:
+            capacity_fallbacks += 1
+    for program in eligible:
+        assert_identity(program, expand=True)
+    t_one = t_inc = None
+    for _ in range(reps):
+        elapsed = audit_oneshot(eligible)
+        t_one = elapsed if t_one is None else min(t_one, elapsed)
+        elapsed = audit_incremental(eligible)
+        t_inc = elapsed if t_inc is None else min(t_inc, elapsed)
+    corpus = {
+        "programs": len(eligible),
+        "checks": len(eligible) * len(MODELS),
+        "capacity_fallbacks": capacity_fallbacks,
+        "wall_s_oneshot": t_one,
+        "wall_s_incremental": t_inc,
+        "speedup": t_one / t_inc if t_inc and t_inc > 0 else float("inf"),
+        "identity": True,
+    }
+
+    # -- scaling families at n >= 8 ----------------------------------------
+    fam_rows: List[Dict] = []
+    fam_reps = max(1, reps if quick else min(reps, 3))
+    for fam, make in families:
+        n = 8
+        program = make(n)
+        assert_identity(program, expand=False)
+        f_one = f_inc = None
+        for _ in range(fam_reps):
+            elapsed = audit_oneshot([program])
+            f_one = elapsed if f_one is None else min(f_one, elapsed)
+            elapsed = audit_incremental([program])
+            f_inc = elapsed if f_inc is None else min(f_inc, elapsed)
+        fam_rows.append({
+            "family": fam,
+            "threads": n,
+            "wall_s_oneshot": f_one,
+            "wall_s_incremental": f_inc,
+            "speedup": f_one / f_inc if f_inc and f_inc > 0 else float("inf"),
+            "identity": True,
+        })
+
+    speedups = [corpus["speedup"]] + [row["speedup"] for row in fam_rows]
+    return {
+        "corpus": corpus,
+        "families": fam_rows,
+        "repeat": reps,
+        "speedup": min(speedups),
+        "target_speedup": 2.0,
+    }
+
+
+def _bench_solver_router(families, repeat: int, quick: bool) -> Tuple[Dict, Dict]:
+    """Measure per-program enum vs sat check times, refit the router
+    calibration, and verify it routes every measured program to the
+    faster engine.
+
+    Rows are grouped by feature vector (drf0/drf1 preparations of a
+    program usually share one, drfrlx's quantum transformation gets its
+    own), because that is the granularity the router decides at; a
+    group's sat time is its share of the cold 3-model shared-core audit,
+    so the amortized encode cost lands where it is actually paid.
+    """
+    from repro.core.model import MODELS, _prepare, check
+    from repro.solver.bridge import clear_core_memo
+    from repro.solver.router import decide, feature_key, fit_calibration
+    from repro.solver.router import program_features
+
+    reps = max(1, repeat)
+    max_train_n = 5 if quick else 6
+    train: List[Tuple[str, Program]] = list(_corpus_programs())
+    for fam, make in families:
+        for n in range(2, max_train_n + 1):
+            program = make(n)
+            train.append((program.name, program))
+
+    rows: List[Dict] = []
+    per_program: List[Dict] = []
+    for name, program in train:
+        groups: Dict[str, Dict] = {}
+        order: List[str] = []
+        for model in MODELS:
+            prepared = _prepare(program, model)
+            feats = program_features(prepared)
+            key = feature_key(feats)
+            if key not in groups:
+                groups[key] = {
+                    "features": feats, "models": [], "prepared": prepared,
+                    "enum_s": None, "sat_s": None, "sat_ok": True,
+                }
+                order.append(key)
+            groups[key]["models"].append(model)
+        for _ in range(reps):
+            enum_acc = {key: 0.0 for key in order}
+            for model in MODELS:
+                prepared = _prepare(program, model)
+                key = feature_key(program_features(prepared))
+                t0 = time.perf_counter()
+                check(program, model, engine="enum")
+                enum_acc[key] += time.perf_counter() - t0
+            sat_acc = {key: 0.0 for key in order}
+            clear_core_memo()
+            for model in MODELS:
+                prepared = _prepare(program, model)
+                key = feature_key(program_features(prepared))
+                t0 = time.perf_counter()
+                result = check(program, model, engine="sat")
+                sat_acc[key] += time.perf_counter() - t0
+                if result.engine != "sat":
+                    groups[key]["sat_ok"] = False
+            for key in order:
+                group = groups[key]
+                if group["enum_s"] is None or enum_acc[key] < group["enum_s"]:
+                    group["enum_s"] = enum_acc[key]
+                if group["sat_ok"] and (
+                    group["sat_s"] is None or sat_acc[key] < group["sat_s"]
+                ):
+                    group["sat_s"] = sat_acc[key]
+        for key in order:
+            group = groups[key]
+            if not group["sat_ok"]:
+                group["sat_s"] = None
+            rows.append({
+                "program": name,
+                "models": group["models"],
+                "key": key,
+                "features": group["features"],
+                "prepared": group["prepared"],
+                "enum_s": group["enum_s"],
+                "sat_s": group["sat_s"],
+            })
+
+    # The router is a pure function of the feature vector, so that is
+    # the granularity it can be held to: distinct programs sharing one
+    # vector (labels are erased from features on purpose) are merged
+    # before fitting, else sub-millisecond timing noise between them
+    # could demand contradictory pins for a single key.
+    merged: Dict[str, Dict] = {}
+    merged_order: List[str] = []
+    for row in rows:
+        key = row["key"]
+        if key not in merged:
+            merged[key] = {
+                "programs": [], "models": 0, "features": row["features"],
+                "prepared": row["prepared"], "enum_s": 0.0, "sat_s": 0.0,
+                "sat_ok": True,
+            }
+            merged_order.append(key)
+        group = merged[key]
+        group["programs"].append(row["program"])
+        group["models"] += len(row["models"])
+        group["enum_s"] += row["enum_s"]
+        if row["sat_s"] is None:
+            group["sat_ok"] = False
+        else:
+            group["sat_s"] += row["sat_s"]
+
+    calibration = fit_calibration(
+        [
+            {
+                "features": merged[key]["features"],
+                "enum_s": merged[key]["enum_s"],
+                "sat_s": merged[key]["sat_s"] if merged[key]["sat_ok"]
+                else None,
+            }
+            for key in merged_order
+        ],
+        fitted=date.today().isoformat(),
+    )
+
+    misroutes: List[str] = []
+    for key in merged_order:
+        group = merged[key]
+        decision = decide(group["prepared"], calibration=calibration)
+        enum_s = group["enum_s"]
+        sat_s = group["sat_s"] if group["sat_ok"] else None
+        chosen_s = sat_s if decision.engine == "sat" else enum_s
+        best_s = enum_s if sat_s is None else min(enum_s, sat_s)
+        speedup = best_s / chosen_s if chosen_s and chosen_s > 0 else 1.0
+        if speedup < 1.0:
+            misroutes.append(",".join(group["programs"]))
+        per_program.append({
+            "programs": group["programs"],
+            "checks": group["models"],
+            "decision": decision.payload(),
+            "wall_s_enum": enum_s,
+            "wall_s_sat": sat_s,
+            "wall_s_chosen": chosen_s,
+            "speedup": speedup,
+        })
+    if misroutes:
+        raise AssertionError(
+            f"router picked the slower engine for {misroutes} "
+            "even after refitting — pins should have prevented this"
+        )
+    router = {
+        "repeat": reps,
+        "trained_programs": len(train),
+        "trained_rows": len(merged_order),
+        "pins": len(calibration["pins"]),
+        "misroutes": 0,
+        "min_speedup": min(
+            (row["speedup"] for row in per_program), default=1.0
+        ),
+        "per_program": per_program,
+    }
+    return router, calibration
 
 
 #: Litmus checks in the service bench's request mix — a spread of
@@ -865,15 +1193,23 @@ SECTIONS = (
 #: :func:`compare_baseline` flags as a regression.
 REGRESSION_THRESHOLD = 0.20
 
+#: Absolute wall-time increase (seconds) a metric must also exceed
+#: before it is flagged.  Sub-100ms timings on a shared 1-CPU runner
+#: jitter well past 20% run to run; without a floor the
+#: ``--baseline-fail`` gate fires on noise, not drift.
+REGRESSION_FLOOR_S = 0.1
+
 
 def compare_baseline(record: Dict, baseline: Dict) -> List[str]:
     """Diff two ``BENCH_<date>.json`` records section by section.
 
     Compares every top-level ``wall_s_*`` timing of each section present
     in both records and returns one line per metric; increases past
-    :data:`REGRESSION_THRESHOLD` are suffixed with a ``WARNING``.  Used
-    by ``python -m repro bench --baseline OLD.json`` to turn the perf
-    trajectory the JSON records accumulate into an actionable diff.
+    :data:`REGRESSION_THRESHOLD` that also grow by more than
+    :data:`REGRESSION_FLOOR_S` absolute are suffixed with a
+    ``WARNING``.  Used by ``python -m repro bench --baseline OLD.json``
+    to turn the perf trajectory the JSON records accumulate into an
+    actionable diff.
     """
     lines: List[str] = []
     warnings = 0
@@ -890,7 +1226,8 @@ def compare_baseline(record: Dict, baseline: Dict) -> List[str]:
                 continue
             delta = after / before - 1.0
             tag = ""
-            if delta > REGRESSION_THRESHOLD:
+            if delta > REGRESSION_THRESHOLD and \
+                    after - before > REGRESSION_FLOOR_S:
                 tag = f"  WARNING: >{REGRESSION_THRESHOLD:.0%} regression"
                 warnings += 1
             lines.append(
@@ -907,6 +1244,18 @@ def compare_baseline(record: Dict, baseline: Dict) -> List[str]:
             f"no regressions past {REGRESSION_THRESHOLD:.0%}"
         )
     return lines
+
+
+def baseline_regressions(record: Dict, baseline: Dict) -> int:
+    """Number of wall-time regressions past :data:`REGRESSION_THRESHOLD`.
+
+    The machine-readable companion to :func:`compare_baseline`, used by
+    ``python -m repro bench --baseline OLD.json --baseline-fail`` to turn
+    a perf drift into a non-zero exit (CI's perf-smoke gate).
+    """
+    return sum(
+        1 for line in compare_baseline(record, baseline) if "WARNING" in line
+    )
 
 
 def _numpy_version() -> Optional[str]:
@@ -985,6 +1334,12 @@ def run_bench(
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
+    calibration = record.get("solver", {}).get("calibration")
+    if calibration:
+        cal_path = os.path.join(out_dir, "calibration.json")
+        with open(cal_path, "w") as handle:
+            json.dump(calibration, handle, indent=2)
+            handle.write("\n")
     return path
 
 
@@ -1044,6 +1399,29 @@ def summarize(record: Dict) -> str:
             f"({solver['corpus_sat']} sat, "
             f"{solver['corpus_capacity_fallbacks']} capacity fallbacks)"
         )
+        inc = solver.get("solver_incremental")
+        if inc:
+            corpus = inc["corpus"]
+            fams = ", ".join(
+                f"{row['family']}@n={row['threads']} {row['speedup']:.2f}x"
+                for row in inc["families"]
+            )
+            lines.append(
+                f"solver/incremental: corpus 3-model audit "
+                f"{corpus['wall_s_oneshot']*1000:.1f}ms one-shot -> "
+                f"{corpus['wall_s_incremental']*1000:.1f}ms shared "
+                f"({corpus['speedup']:.2f}x over {corpus['programs']} "
+                f"programs; {fams}; min {inc['speedup']:.2f}x, "
+                f"target >={inc['target_speedup']:.1f}x; identity held)"
+            )
+        router = solver.get("router")
+        if router:
+            lines.append(
+                f"solver/router: calibrated on {router['trained_rows']} "
+                f"rows from {router['trained_programs']} programs, "
+                f"{router['pins']} pins, {router['misroutes']} misroutes "
+                f"(min per-program speedup {router['min_speedup']:.2f}x)"
+            )
     sweep = record.get("sweep")
     if sweep and sweep.get("serial_fallback"):
         lines.append(

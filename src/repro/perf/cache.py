@@ -84,12 +84,14 @@ def default_cache_dir() -> str:
 
 @lru_cache(maxsize=None)
 def code_fingerprint(packages: Tuple[str, ...]) -> str:
-    """Hash of every ``*.py`` source file under the given packages.
+    """Hash of every ``*.py`` and ``*.json`` file under the given packages.
 
     The fingerprint is part of every cache key, so editing any file in a
     fingerprinted package silently invalidates all entries that depended
-    on it.  Hashing a few dozen small files takes ~1 ms and is cached
-    per process.
+    on it.  Packaged JSON data participates because it can steer results
+    the same way code does (``repro.solver`` ships ``calibration.json``,
+    which routes ``engine="auto"`` checks).  Hashing a few dozen small
+    files takes ~1 ms and is cached per process.
     """
     digest = hashlib.sha256()
     for package in packages:
@@ -103,7 +105,7 @@ def code_fingerprint(packages: Tuple[str, ...]) -> str:
             dirnames.sort()
             dirnames[:] = [d for d in dirnames if d != "__pycache__"]
             for filename in sorted(filenames):
-                if not filename.endswith(".py"):
+                if not filename.endswith((".py", ".json")):
                     continue
                 path = os.path.join(dirpath, filename)
                 rel = os.path.relpath(path, root)

@@ -20,13 +20,22 @@ the encoding sketch and the engine-selection rules.
 """
 
 from repro.solver.sat import SatStats, Solver
-from repro.solver.encode import SolverCapacityError, encode_program
-from repro.solver.bridge import sat_enumeration
+from repro.solver.encode import SolverCapacityError, encode_program, erase_labels
+from repro.solver.bridge import (
+    SharedCore,
+    SolverStats,
+    clear_core_memo,
+    sat_enumeration,
+)
 
 __all__ = [
     "SatStats",
+    "SharedCore",
     "Solver",
     "SolverCapacityError",
+    "SolverStats",
+    "clear_core_memo",
     "encode_program",
+    "erase_labels",
     "sat_enumeration",
 ]

@@ -35,10 +35,13 @@ execution sets against the enumerator one-to-one.
 from __future__ import annotations
 
 import heapq
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.events import Event, Execution, RmwInfo
 from repro.core.executions import EnumStats, SCEnumeration
+from repro.core.labels import AtomicKind
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.litmus.program import Program
 from repro.solver.encode import (
@@ -46,10 +49,72 @@ from repro.solver.encode import (
     Encoding,
     Inst,
     SolverCapacityError,
+    erase_labels,
+    label_kinds,
 )
+from repro.solver.sat import SatStats
 
 #: Safety valve on distinct classes enumerated when the caller sets none.
 DEFAULT_MAX_CLASSES = 100_000
+
+
+@dataclass
+class SolverStats:
+    """Work accounting for one solver-backed enumeration.
+
+    The integer counters are deterministic per (program structure, class
+    cap) — the CDCL search is deterministic and, on the shared-core
+    path, they are per-class snapshots equal to what a fresh one-shot
+    solve of the same cap reports — so they are safe to expose in
+    reproducible payloads (``audit --json``, v1 check responses) via
+    :meth:`counters`.  The wall times and the ``shared`` flag depend on
+    machine load and on which requests warmed the core first, and stay
+    out of those payloads.
+    """
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    #: Execution classes enumerated (== ``executions_explored`` pre-expand).
+    classes: int = 0
+    #: Wall seconds spent building the CNF (grounding + clauses).  On the
+    #: shared-core path this is the core's one-time encode, reported
+    #: identically by every check it serves.
+    encode_s: float = 0.0
+    #: Wall seconds spent inside ``solve()`` calls.
+    solve_s: float = 0.0
+    #: True when served from a shared (label-erased, cross-model) core.
+    shared: bool = False
+
+    def counters(self) -> Dict[str, int]:
+        """The deterministic integer counters, for api/audit payloads."""
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned": self.learned,
+            "classes": self.classes,
+        }
+
+    @classmethod
+    def from_sat(
+        cls, stats: SatStats, classes: int,
+        encode_s: float, solve_s: float, shared: bool,
+    ) -> "SolverStats":
+        return cls(
+            decisions=stats.decisions,
+            conflicts=stats.conflicts,
+            propagations=stats.propagations,
+            restarts=stats.restarts,
+            learned=stats.learned,
+            classes=classes,
+            encode_s=encode_s,
+            solve_s=solve_s,
+            shared=shared,
+        )
 
 
 def _selected_shapes(enc: Encoding):
@@ -288,8 +353,14 @@ def _enumerate_sat(
     scope = tracer.scope(f"sat:{program.name}", cycle=0.0, component="solver")
     executions: List[Execution] = []
     classes = 0
+    solve_s = 0.0
     cap = max_executions if max_executions is not None else DEFAULT_MAX_CLASSES
-    while classes < cap and solver.solve():
+    while classes < cap:
+        t0 = time.perf_counter()
+        sat = solver.solve()
+        solve_s += time.perf_counter() - t0
+        if not sat:
+            break
         shapes = _selected_shapes(enc)
         edges, rf_source = _model_edges(enc, shapes)
         cycle = _find_cycle(edges)
@@ -329,6 +400,9 @@ def _enumerate_sat(
         truncated_paths=enc.truncated,
         interleavings=classes,
         stats=stats,
+        solver_stats=SolverStats.from_sat(
+            solver.stats, classes, enc.encode_s, solve_s, shared=False,
+        ),
     )
 
 
@@ -345,6 +419,273 @@ def _register_products(shapes) -> List[List[Dict[str, int]]]:
     return combos
 
 
+# ---------------------------------------------------------------------------
+# Shared (label-erased) program cores
+# ---------------------------------------------------------------------------
+
+
+class _LabelCollision(Exception):
+    """One erased shape groups traces that disagree on an atomic label
+    under the requested model, so the shared core cannot relabel its
+    decoded executions soundly; the caller falls back to a one-shot
+    encoding of the labeled program (identical results, no sharing)."""
+
+
+class _ClassRecord:
+    """One enumerated execution class of a :class:`SharedCore`.
+
+    ``stats``/``solve_s`` snapshot the solver counters and cumulative
+    solve time right after this class's blocking clause was added —
+    exactly the state a fresh one-shot enumeration capped at this class
+    count exits with, which is what makes served counters byte-identical
+    to the one-shot path at every cap.
+    """
+
+    __slots__ = ("shapes", "execution", "stats", "solve_s")
+
+    def __init__(self, shapes, execution, stats: SatStats, solve_s: float):
+        self.shapes = shapes
+        self.execution = execution
+        self.stats = stats
+        self.solve_s = solve_s
+
+
+class SharedCore:
+    """One label-erased encoding serving every model of a program.
+
+    The three model preparations of a litmus test differ only in their
+    atomic labels (drf0/drf1 relabel; drfrlx additionally
+    quantum-transforms, in which case its erased structure — and hence
+    its core — may differ).  Labels never influence grounding or the
+    CNF, so the erased program encodes once and its AllSAT loop runs
+    once, warm: the CDCL instance keeps its learnt clauses, VSIDS
+    activity and saved phases across blocking iterations *and* across
+    the models/caps served.  :meth:`serve` decodes per model by mapping
+    each shape's static-instruction provenance through the model's
+    label vector.
+
+    Everything served is byte-identical to a one-shot encoding of the
+    labeled program: no label collision (checked per serve) means the
+    labeled trace partition equals the erased one, so the CNF, the
+    deterministic solver run, the class order and the per-class counter
+    snapshots all coincide; :meth:`ensure` resumes the loop exactly
+    where a capped one-shot run stopped.
+
+    Once exhausted the encoding and solver are dropped (``enc = None``)
+    — the records alone serve any cap — which also makes an exhausted
+    core a plain picklable value for the ``perf.cache`` entry.
+    """
+
+    def __init__(self, erased: Program, max_traces: int = MAX_TRACES_PER_THREAD):
+        self.program = erased
+        self.enc: Optional[Encoding] = Encoding(erased, max_traces)
+        self.encode_s = self.enc.encode_s
+        self.truncated = self.enc.truncated
+        #: Counters right after encoding (root units already propagate
+        #: during ``add_clause``) — what a cap-0 one-shot run reports.
+        self.initial_stats = replace(self.enc.solver.stats)
+        self.records: List[_ClassRecord] = []
+        self.exhausted = False
+        self.final_stats: Optional[SatStats] = None
+        self.final_solve_s = 0.0
+        self._solve_s = 0.0
+        self._stored = False  # already persisted to a perf.cache store
+
+    def ensure(self, cap: int) -> None:
+        """Enumerate classes until *cap* are recorded or UNSAT."""
+        if self.exhausted:
+            return
+        enc = self.enc
+        assert enc is not None
+        solver = enc.solver
+        while len(self.records) < cap:
+            t0 = time.perf_counter()
+            sat = solver.solve()
+            self._solve_s += time.perf_counter() - t0
+            if not sat:
+                self.exhausted = True
+                self.final_stats = replace(solver.stats)
+                self.final_solve_s = self._solve_s
+                self.enc = None  # records alone serve from here on
+                break
+            shapes = _selected_shapes(enc)
+            edges, rf_source = _model_edges(enc, shapes)
+            cycle = _find_cycle(edges)
+            if cycle is not None:
+                solver.add_clause(_cycle_clause(enc, *cycle))
+                continue
+            representative = [dict(s.reg_variants[0]) for s in shapes]
+            execution = _decode(enc, shapes, edges, rf_source, representative)
+            solver.add_clause(_blocking_clause(enc, shapes, rf_source))
+            self.records.append(_ClassRecord(
+                tuple(shapes), execution, replace(solver.stats), self._solve_s,
+            ))
+
+    def _shape_labels(
+        self, kinds: Tuple[AtomicKind, ...], records: List[_ClassRecord],
+    ) -> Dict[Tuple[int, int], Dict[int, AtomicKind]]:
+        """Per served shape, event position -> model label.
+
+        Raises :class:`_LabelCollision` when a shape's provenance
+        vectors disagree on any label under *kinds* — the one case where
+        the labeled program's trace partition is finer than the erased
+        one and sharing would be unsound.
+        """
+        label_of: Dict[Tuple[int, int], Dict[int, AtomicKind]] = {}
+        for rec in records:
+            for tid, shape in enumerate(rec.shapes):
+                key = (tid, shape.index)
+                if key in label_of:
+                    continue
+                vectors = set()
+                for srcs in shape.src_variants:
+                    if any(s < 0 for s in srcs):
+                        raise _LabelCollision(
+                            f"shape t{tid}s{shape.index} has events without "
+                            "static provenance"
+                        )
+                    vectors.add(tuple(kinds[s] for s in srcs))
+                if len(vectors) > 1:
+                    raise _LabelCollision(
+                        f"shape t{tid}s{shape.index} groups traces whose "
+                        "labels disagree under this model"
+                    )
+                label_of[key] = {
+                    ev[0]: kinds[src]
+                    for ev, src in zip(shape.events, shape.src_variants[0])
+                }
+        return label_of
+
+    def serve(
+        self,
+        program: Program,
+        max_executions: Optional[int],
+        expand_registers: bool,
+    ) -> SCEnumeration:
+        """The enumeration of *program* (a labeling of this core's
+        erased program), byte-identical to a one-shot sat run."""
+        cap = (
+            max_executions if max_executions is not None
+            else DEFAULT_MAX_CLASSES
+        )
+        self.ensure(cap)
+        n = min(cap, len(self.records))
+        served = self.records[:n]
+        label_of = self._shape_labels(label_kinds(program), served)
+        executions: List[Execution] = []
+        for rec in served:
+            base = rec.execution
+            events = [
+                ev if ev.is_init else Event(
+                    ev.eid, ev.tid, ev.kind, ev.loc, ev.value,
+                    label_of[(ev.tid, rec.shapes[ev.tid].index)][ev.po_index],
+                    ev.po_index, ev.is_init,
+                )
+                for ev in base.events
+            ]
+            execution = Execution(
+                events=events,
+                order=base.order,
+                rf_map=base._rf_map,
+                rmw_pairs=base._rmw_pairs,
+                dep_edges=base._dep_edges,
+                final_memory=base.final_memory,
+                final_registers=base.final_registers,
+                rmw_info=base.rmw_info,
+            )
+            executions.append(execution)
+            if expand_registers:
+                variants = _register_products(rec.shapes)
+                for combo in variants[1:]:  # [0] is the representative
+                    executions.append(Execution(
+                        events=execution.events,
+                        order=execution.order,
+                        rf_map=execution._rf_map,
+                        rmw_pairs=execution._rmw_pairs,
+                        dep_edges=execution._dep_edges,
+                        final_memory=execution.final_memory,
+                        final_registers=combo,
+                        rmw_info=execution.rmw_info,
+                    ))
+        # The counters a fresh one-shot run capped at `cap` would report:
+        # the snapshot after the cap-th blocking clause when the cap cut
+        # enumeration short, the post-UNSAT totals otherwise.
+        if cap <= len(self.records):
+            snap = served[-1].stats if n else self.initial_stats
+            solve_s = served[-1].solve_s if n else 0.0
+        else:
+            assert self.exhausted and self.final_stats is not None
+            snap = self.final_stats
+            solve_s = self.final_solve_s
+        stats = EnumStats(engine="sat")
+        stats.steps = snap.propagations
+        stats.completed_paths = n
+        return SCEnumeration(
+            program=program,
+            executions=tuple(executions),
+            truncated_paths=self.truncated,
+            interleavings=n,
+            stats=stats,
+            solver_stats=SolverStats.from_sat(
+                snap, n, self.encode_s, solve_s, shared=True,
+            ),
+        )
+
+
+#: In-process core memo: (erased program repr, max_traces) -> SharedCore,
+#: or the SolverCapacityError its construction raised (negative caching —
+#: one doomed grounding per structure, not one per model per request).
+_CORE_MEMO: Dict[Tuple[str, int], object] = {}
+_CORE_MEMO_MAX = 32
+
+
+def clear_core_memo() -> None:
+    """Drop every memoized shared core (tests and long-lived services)."""
+    _CORE_MEMO.clear()
+
+
+def _memo_put(key: Tuple[str, int], value: object) -> None:
+    if key not in _CORE_MEMO and len(_CORE_MEMO) >= _CORE_MEMO_MAX:
+        _CORE_MEMO.pop(next(iter(_CORE_MEMO)))
+    _CORE_MEMO[key] = value
+
+
+def _core_key(store, program_repr: str, max_traces: int):
+    from repro.perf.cache import SOLVER_CODE_PACKAGES, code_fingerprint
+
+    return store.key(
+        "solver_core",
+        {
+            "program": program_repr,
+            "max_traces": max_traces,
+            "code": code_fingerprint(SOLVER_CODE_PACKAGES),
+        },
+    )
+
+
+def _core_for(erased: Program, max_traces: int, store) -> SharedCore:
+    key = (repr(erased), max_traces)
+    hit = _CORE_MEMO.get(key)
+    if isinstance(hit, SolverCapacityError):
+        raise hit
+    if isinstance(hit, SharedCore):
+        return hit
+    if store is not None:
+        found, value = store.get(
+            _core_key(store, key[0], max_traces), codec="pickle"
+        )
+        if found and isinstance(value, SharedCore) and value.exhausted:
+            _memo_put(key, value)
+            return value
+    try:
+        core = SharedCore(erased, max_traces)
+    except SolverCapacityError as exc:
+        _memo_put(key, exc)
+        raise
+    _memo_put(key, core)
+    return core
+
+
 def sat_enumeration(
     program: Program,
     max_executions: Optional[int] = None,
@@ -352,6 +693,7 @@ def sat_enumeration(
     cache=None,
     expand_registers: bool = False,
     max_traces: int = MAX_TRACES_PER_THREAD,
+    shared: bool = True,
 ) -> SCEnumeration:
     """Enumerate *program*'s execution classes with the SAT engine.
 
@@ -363,8 +705,17 @@ def sat_enumeration(
     the enumerator's: a :data:`repro.perf.cache.CacheSpec` keyed on the
     program text, the arguments and a fingerprint of the
     ``repro.core``/``repro.litmus``/``repro.solver`` sources.
+
+    ``shared=True`` (the default) serves from the label-erased
+    :class:`SharedCore` memo, so checking one program against all three
+    models encodes and solves once; pass ``shared=False`` to force a
+    fresh one-shot encoding (what the benchmarks and identity tests
+    compare against).  A tracer disables sharing — its per-solve events
+    should describe this run, not whichever request warmed the core.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if tracer.enabled:
+        shared = False
 
     store = key = None
     if cache is not None and not tracer.enabled:
@@ -380,6 +731,7 @@ def sat_enumeration(
                     "program": repr(program),
                     "max_executions": max_executions,
                     "expand_registers": expand_registers,
+                    "shared": shared,
                     "code": code_fingerprint(SOLVER_CODE_PACKAGES),
                 },
             )
@@ -387,9 +739,24 @@ def sat_enumeration(
             if found and isinstance(value, SCEnumeration):
                 return value
 
-    result = _enumerate_sat(
-        program, max_executions, expand_registers, max_traces, tracer
-    )
+    result: Optional[SCEnumeration] = None
+    if shared:
+        core = _core_for(erase_labels(program), max_traces, store)
+        try:
+            result = core.serve(program, max_executions, expand_registers)
+        except _LabelCollision:
+            result = None  # sound fallback: one-shot labeled encoding
+        if result is not None and store is not None and core.exhausted \
+                and not core._stored:
+            core._stored = True
+            store.put(
+                _core_key(store, repr(core.program), max_traces),
+                core, codec="pickle",
+            )
+    if result is None:
+        result = _enumerate_sat(
+            program, max_executions, expand_registers, max_traces, tracer
+        )
     if store is not None:
         store.put(key, result, codec="pickle")
     return result

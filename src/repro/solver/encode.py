@@ -50,12 +50,13 @@ programs well.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.executions import _ThreadState, _Truncated, static_step_bound
-from repro.core.labels import AtomicKind
-from repro.litmus.ast import Load, Rmw, Store, Value
+from repro.core.labels import ATOMIC_KINDS, AtomicKind
+from repro.litmus.ast import If, Load, Rmw, Store, Value, While
 from repro.litmus.program import Program
 from repro.solver.sat import Solver
 
@@ -89,6 +90,95 @@ MAX_CLAUSES = 50_000
 #: One thread-local event: (pos, kind, loc, value, label).
 LocalEvent = Tuple[int, str, str, int, AtomicKind]
 
+#: Relabeling that erases every atomic annotation.  Two prepared
+#: programs that differ only in labels (drf0 vs drf1 preparation of the
+#: same litmus test, say) erase to byte-identical programs, which is
+#: what lets :mod:`repro.solver.bridge` encode and solve once per
+#: *structure* and decode once per *model*.
+ERASE_LABELS = {kind: AtomicKind.DATA for kind in ATOMIC_KINDS}
+
+
+def erase_labels(program: Program) -> Program:
+    """*program* with every atomic label rewritten to ``DATA``.
+
+    Labels never influence grounding (they are recorded into events, not
+    branched on), so the erased program grounds to the same traces and
+    encodes to the same CNF — only the decoded events' labels differ.
+
+    Not :meth:`~repro.litmus.program.Program.relabel`: that rebuilds
+    instructions without their ``havoc`` domains, and the quantum
+    transformation (drfrlx preparation) branches on exactly those, so
+    dropping them would change the grounding.  This walker rewrites the
+    label field alone.
+    """
+
+    def erase_body(body) -> Tuple:
+        out = []
+        for instr in body:
+            if isinstance(instr, Load):
+                out.append(Load(
+                    instr.dst, instr.loc, AtomicKind.DATA, havoc=instr.havoc,
+                ))
+            elif isinstance(instr, Store):
+                out.append(Store(
+                    instr.loc, instr.value, AtomicKind.DATA, havoc=instr.havoc,
+                ))
+            elif isinstance(instr, Rmw):
+                out.append(Rmw(
+                    instr.dst, instr.loc, instr.op, instr.operand,
+                    instr.operand2, AtomicKind.DATA, havoc=instr.havoc,
+                ))
+            elif isinstance(instr, If):
+                out.append(If(
+                    instr.cond, erase_body(instr.then), erase_body(instr.orelse),
+                ))
+            elif isinstance(instr, While):
+                out.append(While(
+                    instr.cond, erase_body(instr.body), instr.max_iters,
+                ))
+            else:
+                out.append(instr)
+        return tuple(out)
+
+    return Program(
+        program.name,
+        [erase_body(thread.body) for thread in program.threads],
+        program.init,
+    )
+
+
+def static_memory_ops(program: Program) -> List:
+    """Every ``Load``/``Store``/``Rmw`` of *program* in a fixed walk
+    order (threads in order, bodies depth-first, ``If`` then-before-else).
+
+    The walk is purely structural, so two programs related by
+    :meth:`~repro.litmus.program.Program.relabel` — e.g. a prepared
+    program and its label erasure — enumerate corresponding instructions
+    at the same indices.  This is the alignment the shared program core
+    uses to re-label decoded events per model.
+    """
+    ops: List = []
+
+    def walk(body) -> None:
+        for instr in body:
+            if isinstance(instr, (Load, Store, Rmw)):
+                ops.append(instr)
+            elif isinstance(instr, If):
+                walk(instr.then)
+                walk(instr.orelse)
+            elif isinstance(instr, While):
+                walk(instr.body)
+
+    for thread in program.threads:
+        walk(thread.body)
+    return ops
+
+
+def label_kinds(program: Program) -> Tuple[AtomicKind, ...]:
+    """The atomic kind of every static memory op of *program*, indexed
+    like :func:`static_memory_ops` (the model's label vector)."""
+    return tuple(op.kind for op in static_memory_ops(program))
+
 
 @dataclass(frozen=True)
 class ThreadTrace:
@@ -99,6 +189,11 @@ class ThreadTrace:
     rmw_pairs: Tuple[Tuple[int, int], ...]
     rmw_info: Tuple[Tuple[int, str, int, Optional[int]], ...]
     final_regs: Tuple[Tuple[str, int], ...]
+    #: Static-instruction index (see :func:`static_memory_ops`) of the
+    #: op that emitted each event, aligned with ``events``.  Provenance
+    #: only — never part of :meth:`class_key`, so the trace partition is
+    #: unchanged.
+    srcs: Tuple[int, ...] = ()
 
     def class_key(self) -> Tuple:
         """Race-relevant identity (everything but the final registers)."""
@@ -122,6 +217,13 @@ class Shape:
     rmw_pairs: Tuple[Tuple[int, int], ...]
     rmw_info: Tuple[Tuple[int, str, int, Optional[int]], ...]
     reg_variants: List[Dict[str, int]] = field(default_factory=list)
+    #: Distinct per-event static-instruction provenance vectors of the
+    #: traces grouped into this shape (usually one; more when two
+    #: different instructions emit identical events on different
+    #: branches).  The shared program core maps these through a model's
+    #: label vector to re-label decoded events — and falls back to a
+    #: one-shot encoding when the vectors disagree on a label.
+    src_variants: List[Tuple[int, ...]] = field(default_factory=list)
 
 
 def _ground_op(
@@ -132,6 +234,8 @@ def _ground_op(
     deps: Dict[str, List[Tuple[int, int]]],
     rmw_pairs: List[Tuple[int, int]],
     rmw_info: List[Tuple[int, str, int, Optional[int]]],
+    srcs: List[int],
+    src_of: Dict[int, int],
 ) -> None:
     """Execute the pending memory op under an *assumed* read value.
 
@@ -146,6 +250,7 @@ def _ground_op(
     state.pending = None
     ctrl_taint = state.pending_ctrl
     loc, addr_taint = instr.loc.resolve(state.regs)
+    src = src_of.get(id(instr), -1)
 
     def record(pos: int, data_taint=frozenset()) -> None:
         deps["addr"].extend((t, pos) for t in addr_taint)
@@ -157,6 +262,7 @@ def _ground_op(
         pos = state.mem_count
         state.mem_count += 1
         events.append((pos, "R", loc, read_value, instr.kind))
+        srcs.append(src)
         record(pos)
         result = choice[0] if instr.havoc else read_value
         state.regs[instr.dst] = Value(result, frozenset({pos}))
@@ -170,6 +276,7 @@ def _ground_op(
         pos = state.mem_count
         state.mem_count += 1
         events.append((pos, "W", loc, stored.val, instr.kind))
+        srcs.append(src)
         record(pos, stored.taint)
         return
 
@@ -181,6 +288,7 @@ def _ground_op(
     r_pos = state.mem_count
     state.mem_count += 1
     events.append((r_pos, "R", loc, old, instr.kind))
+    srcs.append(src)
     if instr.havoc:
         returned, new_value = choice
         operand_val = new_value  # the stored value is the random value
@@ -191,6 +299,7 @@ def _ground_op(
     w_pos = state.mem_count
     state.mem_count += 1
     events.append((w_pos, "W", loc, new_value, instr.kind))
+    srcs.append(src)
     rmw_pairs.append((r_pos, w_pos))
     rmw_info.append((
         w_pos,
@@ -216,7 +325,8 @@ def _branch_choices(state: _ThreadState, domains) -> List[Tuple[Optional[int], T
 
 
 def _ground_thread(
-    tid: int, body, domains, max_traces: int = MAX_TRACES_PER_THREAD
+    tid: int, body, domains, max_traces: int = MAX_TRACES_PER_THREAD,
+    src_of: Optional[Dict[int, int]] = None,
 ) -> Tuple[List[ThreadTrace], int, Set[Tuple[str, int]]]:
     """All symbolic executions of one thread under *domains*.
 
@@ -231,17 +341,19 @@ def _ground_thread(
     root = _ThreadState(tid, tuple(body))
     truncated = 0
     writes_seen: Set[Tuple[str, int]] = set()
+    if src_of is None:
+        src_of = {}
     try:
         root.advance()
     except _Truncated:
         return [], 1, writes_seen
     traces: List[ThreadTrace] = []
     Deps = Dict[str, List[Tuple[int, int]]]
-    stack: List[Tuple[_ThreadState, List[LocalEvent], Deps, List, List]] = [
-        (root, [], {"addr": [], "data": [], "ctrl": []}, [], [])
+    stack: List[Tuple[_ThreadState, List[LocalEvent], Deps, List, List, List]] = [
+        (root, [], {"addr": [], "data": [], "ctrl": []}, [], [], [])
     ]
     while stack:
-        state, events, deps, rmw_pairs, rmw_info = stack.pop()
+        state, events, deps, rmw_pairs, rmw_info, srcs = stack.pop()
         if state.pending is None:
             traces.append(ThreadTrace(
                 events=tuple(events),
@@ -253,6 +365,7 @@ def _ground_thread(
                 final_regs=tuple(sorted(
                     (name, v.val) for name, v in state.regs.items()
                 )),
+                srcs=tuple(srcs),
             ))
             if len(traces) > max_traces:
                 raise SolverCapacityError(
@@ -265,9 +378,10 @@ def _ground_thread(
             b_deps = {name: list(edges) for name, edges in deps.items()}
             b_rmw_pairs = list(rmw_pairs)
             b_rmw_info = list(rmw_info)
+            b_srcs = list(srcs)
             _ground_op(
                 branch, read_value, choice,
-                b_events, b_deps, b_rmw_pairs, b_rmw_info,
+                b_events, b_deps, b_rmw_pairs, b_rmw_info, b_srcs, src_of,
             )
             for _pos, kind, loc, value, _label in b_events[len(events):]:
                 if kind == "W":
@@ -277,7 +391,9 @@ def _ground_thread(
             except _Truncated:
                 truncated += 1
                 continue
-            stack.append((branch, b_events, b_deps, b_rmw_pairs, b_rmw_info))
+            stack.append(
+                (branch, b_events, b_deps, b_rmw_pairs, b_rmw_info, b_srcs)
+            )
     return traces, truncated, writes_seen
 
 
@@ -297,6 +413,7 @@ def ground_program(
     domains: Dict[str, Set[int]] = {
         loc: {program.initial_value(loc)} for loc in program.locations()
     }
+    src_of = {id(op): idx for idx, op in enumerate(static_memory_ops(program))}
     per_thread: List[List[ThreadTrace]] = []
     truncated = 0
     for _ in range(static_step_bound(program) + 2):
@@ -305,7 +422,7 @@ def ground_program(
         changed = False
         for tid, thread in enumerate(program.threads):
             traces, trunc, writes_seen = _ground_thread(
-                tid, thread.body, domains, max_traces
+                tid, thread.body, domains, max_traces, src_of
             )
             truncated += trunc
             per_thread.append(traces)
@@ -341,6 +458,8 @@ def ground_program(
             regs = dict(trace.final_regs)
             if regs not in shape.reg_variants:
                 shape.reg_variants.append(regs)
+            if trace.srcs not in shape.src_variants:
+                shape.src_variants.append(trace.srcs)
         shapes.append(ordered)
     return shapes, truncated
 
@@ -382,6 +501,7 @@ class Encoding:
     """A program lowered to CNF, plus the decode-side variable maps."""
 
     def __init__(self, program: Program, max_traces: int = MAX_TRACES_PER_THREAD):
+        t0 = time.perf_counter()
         self.program = program
         self.solver = Solver()
         self.shapes, self.truncated = ground_program(program, max_traces)
@@ -392,6 +512,7 @@ class Encoding:
         self.init_insts: List[Inst] = []
         self.rf_candidates: Dict[int, List[int]] = {}  # r gid -> candidate w gids
         self._build()
+        self.encode_s = time.perf_counter() - t0
 
     # -- construction helpers ------------------------------------------------
     def _sel_lit(self, inst: Inst) -> Optional[int]:

@@ -1,0 +1,104 @@
+"""``engine="portfolio"``: race the enumerator against the solver.
+
+When the router's prediction is uncertain — or the caller simply wants
+the best wall time without trusting a model — the portfolio engine runs
+both checking engines in parallel child processes and keeps whichever
+finishes first, terminating the loser.  The two engines produce
+identical verdicts, witnesses and race kinds (the differential suites
+pin this), so racing them is sound; what *does* depend on the winner is
+the work accounting (``engine``, ``executions_explored`` counts classes
+under sat and executions under enum, ``truncated_paths``), which is why
+portfolio results are never used where byte-stable payloads matter
+(golden serve fixtures, result caches — the children run uncached).
+
+Racing needs ``fork`` (child processes must inherit the program without
+re-importing) and a non-daemonic parent (pool workers cannot spawn);
+:func:`portfolio_enumeration` returns ``None`` in either case and
+``model.check`` falls back to the calibrated router.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from typing import Optional, Tuple
+
+from repro.core.executions import SCEnumeration, enumerate_sc_executions
+from repro.litmus.program import Program
+
+
+def _run_enum(program, max_executions, out) -> None:
+    try:
+        result = enumerate_sc_executions(program, max_executions=max_executions)
+        out.put(("enum", result))
+    except BaseException:  # pragma: no cover - child dies silently
+        out.put(("enum", None))
+
+
+def _run_sat(program, max_executions, out) -> None:
+    from repro.solver.bridge import sat_enumeration
+
+    try:
+        result = sat_enumeration(program, max_executions=max_executions)
+        out.put(("sat", result))
+    except BaseException:  # includes SolverCapacityError: enum will win
+        out.put(("sat", None))
+
+
+def portfolio_available() -> bool:
+    """Fork-based racing works here (POSIX, not inside a daemon)."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    return not multiprocessing.current_process().daemon
+
+
+def portfolio_enumeration(
+    program: Program, max_executions: Optional[int] = None,
+) -> Optional[Tuple[SCEnumeration, str]]:
+    """Race enum vs sat on *program*; first usable result wins.
+
+    Returns ``(enumeration, winning_engine)``, or ``None`` when racing
+    is unavailable or both children failed — callers fall back to the
+    single-engine path.
+    """
+    if not portfolio_available():
+        return None
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_run_enum, args=(program, max_executions, out), daemon=True,
+        ),
+        ctx.Process(
+            target=_run_sat, args=(program, max_executions, out), daemon=True,
+        ),
+    ]
+    for proc in procs:
+        proc.start()
+    winner: Optional[Tuple[SCEnumeration, str]] = None
+    pending = len(procs)
+    try:
+        while pending:
+            try:
+                engine, result = out.get(timeout=0.05)
+            except queue_mod.Empty:
+                if not any(p.is_alive() for p in procs):
+                    # Crashed children never report; drain what did land.
+                    try:
+                        engine, result = out.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                else:
+                    continue
+            pending -= 1
+            if result is not None:
+                winner = (result, engine)
+                break
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+        out.close()
+    return winner

@@ -18,7 +18,17 @@ The solver implements the classic conflict-driven clause-learning loop:
   as pseudo-decisions below the search, so repeated queries (the
   AllSAT loop in :mod:`repro.solver.bridge`, allowed/forbidden/race
   probes in tests) reuse the learnt-clause database; a failed call
-  reports the subset of assumptions responsible via :meth:`core`.
+  reports the subset of assumptions responsible via :meth:`core`;
+- **clause groups** — :meth:`Solver.new_group` allocates an activation
+  literal, ``add_clause(..., group=g)`` guards a clause with it, and
+  :meth:`retract_group` permanently deactivates the whole group.  Every
+  learnt clause that transitively depends on a group clause contains the
+  group's negated activation literal (resolution can never drop it), so
+  retraction silently satisfies exactly the lemmas the group implied
+  while every core-derived lemma — learnt from unguarded clauses only —
+  survives.  This is what lets a long-lived solver instance (the shared
+  program core in :mod:`repro.solver.bridge`) carry query-local
+  constraints without ever being rebuilt.
 
 Literals use the DIMACS convention externally: variables are positive
 integers handed out by :meth:`Solver.new_var`, a negative integer is the
@@ -105,6 +115,7 @@ class Solver:
         self._ok = True
         self._model: List[int] = []
         self._conflict_core: Tuple[int, ...] = ()
+        self._groups: Dict[int, bool] = {}  # activation var -> active?
 
     # -- variables -----------------------------------------------------------
     def new_var(self) -> int:
@@ -142,14 +153,55 @@ class Solver:
             return 0
         return -a if lit & 1 else a
 
+    # -- clause groups -------------------------------------------------------
+    def new_group(self) -> int:
+        """Allocate a clause group and return its handle.
+
+        Clauses added with ``add_clause(..., group=g)`` are guarded by
+        the group's activation literal: they only constrain the search
+        while the group is active (every :meth:`solve` call assumes the
+        activation literal of each active group).  :meth:`retract_group`
+        deactivates a group permanently without touching any clause
+        learnt from the ungrouped (core) clauses.
+        """
+        act = self.new_var()
+        self._groups[act] = True
+        return act
+
+    def retract_group(self, group: int) -> None:
+        """Permanently deactivate *group*.
+
+        Asserts the negated activation literal at level 0: every clause
+        of the group — and every learnt clause that was derived using
+        one, which necessarily carries the negated activation literal —
+        becomes satisfied and drops out of the search.  Lemmas derived
+        from core clauses alone never mention the group and survive
+        untouched (the soundness property the incremental tests pin).
+        """
+        if group not in self._groups:
+            raise ValueError(f"unknown clause group {group}")
+        self._groups[group] = False
+        self.add_clause([-group])
+
+    def group_active(self, group: int) -> bool:
+        """Whether *group* is still active (never retracted)."""
+        return self._groups.get(group, False)
+
     # -- clause management ---------------------------------------------------
-    def add_clause(self, ext_lits: Iterable[int]) -> bool:
+    def add_clause(self, ext_lits: Iterable[int],
+                   group: Optional[int] = None) -> bool:
         """Add a clause (DIMACS literals).  Returns ``False`` when the
         solver becomes unconditionally unsatisfiable.  Must be called at
-        decision level 0 (i.e. outside :meth:`solve`)."""
+        decision level 0 (i.e. outside :meth:`solve`).  ``group`` guards
+        the clause with a clause group's activation literal (see
+        :meth:`new_group`); adding to a retracted group is an error."""
         assert not self._trail_lim, "add_clause only between solve calls"
         if not self._ok:
             return False
+        if group is not None:
+            if not self._groups.get(group, False):
+                raise ValueError(f"clause group {group} is retracted or unknown")
+            ext_lits = [-group, *ext_lits]
         lits: List[int] = []
         seen: Dict[int, int] = {}
         for ext in ext_lits:
@@ -372,6 +424,8 @@ class Solver:
         ``True``: a model is available via :meth:`value` / :meth:`model`.
         ``False``: unsatisfiable under the assumptions; :meth:`core`
         reports the failing subset.  Learnt clauses persist across calls.
+        The activation literal of every active clause group is assumed
+        automatically, before the caller's assumptions.
         """
         self._conflict_core = ()
         self._model = []
@@ -381,7 +435,8 @@ class Solver:
         if self._propagate() is not None:
             self._ok = False
             return False
-        assumps = [self._lit(a) for a in assumptions]
+        assumps = [2 * (g - 1) for g, active in self._groups.items() if active]
+        assumps += [self._lit(a) for a in assumptions]
         if self._max_learnts <= 0:
             self._max_learnts = max(100.0, 2.0 * len(self._clauses))
         restart = 0

@@ -31,17 +31,49 @@ class TestEngineSelection:
         result = check(MP, "drf0", engine="enum")
         assert result.engine == "enum"
 
-    def test_auto_routes_small_programs_to_enum(self):
-        program = scaled_chain(2)
-        assert static_step_bound(_prepare(program, "drf0")) \
-            <= SMALL_PROGRAM_STEPS
-        assert check(program, "drf0", engine="auto").engine == "enum"
+    def test_auto_follows_the_router_decision(self):
+        """``engine="auto"`` is the calibrated router: whatever
+        :func:`repro.solver.router.decide` says is what runs."""
+        from repro.solver.router import decide
 
-    def test_auto_routes_large_programs_to_sat(self):
+        for program in (scaled_chain(2), scaled_chain(6), MP):
+            for model in ("drf0", "drfrlx"):
+                expected = decide(_prepare(program, model)).engine
+                assert check(program, model, engine="auto").engine \
+                    == expected, f"{program.name}/{model}"
+
+    def test_auto_routes_rmw_chains_to_enum(self):
+        """ref_counter's deep RMW chains are where the old static gate
+        lost by 100x+: the calibrated router must keep them on the
+        enumerator."""
+        from repro.litmus.dsl import parse
+
+        with open(os.path.join(CORPUS_DIR, "ref_counter.litmus")) as handle:
+            program = parse(handle.read())
+        for model in ("drf0", "drf1", "drfrlx"):
+            assert check(program, model, engine="auto").engine == "enum"
+
+    def test_auto_routes_large_scaling_programs_to_sat(self):
         program = scaled_chain(6)
-        assert static_step_bound(_prepare(program, "drf0")) \
-            > SMALL_PROGRAM_STEPS
         assert check(program, "drf0", engine="auto").engine == "sat"
+
+    def test_gate_fallback_without_calibration(self, monkeypatch):
+        """No loadable calibration: auto falls back to PR 8's static
+        step-bound gate."""
+        from repro.solver import router
+
+        monkeypatch.setenv(router.ENV_CALIBRATION, "/nonexistent/cal.json")
+        router.clear_calibration_memo()
+        try:
+            small, large = scaled_chain(2), scaled_chain(6)
+            assert static_step_bound(_prepare(small, "drf0")) \
+                <= SMALL_PROGRAM_STEPS
+            assert check(small, "drf0", engine="auto").engine == "enum"
+            assert static_step_bound(_prepare(large, "drf0")) \
+                > SMALL_PROGRAM_STEPS
+            assert check(large, "drf0", engine="auto").engine == "sat"
+        finally:
+            router.clear_calibration_memo()
 
     def test_naive_forces_the_enumerator(self):
         result = check(MP, "drf0", engine="sat", naive=True)
@@ -50,7 +82,14 @@ class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             check(MP, "drf0", engine="z3")
-        assert set(ENGINES) == {"enum", "sat", "auto"}
+        assert set(ENGINES) == {"enum", "sat", "auto", "portfolio"}
+
+    def test_portfolio_matches_single_engine_verdicts(self):
+        result = check(MP, "drfrlx", engine="portfolio")
+        assert result.engine in ("enum", "sat")
+        reference = check(MP, "drfrlx", engine="enum")
+        assert (result.legal, result.race_kinds) == \
+            (reference.legal, reference.race_kinds)
 
     def test_capacity_fallback_reroutes_to_enum(self):
         """ref_counter's deep RMW chains exceed the encoder's capacity
@@ -125,7 +164,8 @@ class TestApiIntegration:
         counting fields (executions = classes for sat, witness indices,
         truncated branches) legitimately differ and are excluded."""
         counting = ("engine", "executions", "execution_classes",
-                    "analyses_run", "truncated_paths", "witnesses")
+                    "analyses_run", "truncated_paths", "witnesses",
+                    "solver_stats")
         a = check_program(name="mp_paired", engine="enum")
         b = check_program(name="mp_paired", engine="sat")
         assert a["ok"] and b["ok"]
