@@ -5,9 +5,9 @@ One API, two transports: the ``python -m repro`` CLI subcommands
 service both call these functions, so a request answered over HTTP,
 over stdin-JSONL, or in-process produces byte-identical payloads.
 
-- :func:`check_program` / :func:`run_sweep_request` /
-  :func:`audit_request` — build + execute one v1 request, returning the
-  full response envelope;
+- :func:`check_program` / :func:`check_batch` /
+  :func:`run_sweep_request` / :func:`audit_request` — build + execute
+  one v1 request, returning the full response envelope;
 - :func:`handle_request` — validate/execute a raw request object or
   JSONL line (never raises; errors become ``ok: false`` envelopes);
 - :func:`generate_figures` — the figures artifact pipeline;
@@ -19,6 +19,7 @@ See ``docs/serve.md`` for the protocol reference.
 
 from repro.api.core import (
     audit_request,
+    check_batch,
     check_program,
     execute_request,
     execute_shard,
@@ -45,6 +46,7 @@ __all__ = [
     "ApiError",
     "SchemaError",
     "audit_request",
+    "check_batch",
     "check_program",
     "encode",
     "error_response",

@@ -12,7 +12,8 @@ the same three layers:
    cache (:mod:`repro.perf.cache`) and, on a miss, splits the request
    into **shards** — independent work units small enough to spread over
    the warm :mod:`repro.perf.pool` executor (one model per check, one
-   workload per sweep, one corpus file per audit);
+   workload per sweep, one corpus file per audit, one
+   :data:`BATCH_SHARD_PROGRAMS`-program slice per batch);
 3. :func:`execute_shard` runs one shard; it is a module-level function
    of a JSON-able dict, so it ships to pool workers by reference and
    produces the same bytes whether it ran inline, in a process pool, or
@@ -111,6 +112,13 @@ def _program_expectations(spec: Dict[str, str]) -> Dict[str, bool]:
 
 # -- sharding ------------------------------------------------------------------
 
+#: Programs per ``batch`` shard.  One shard is one
+#: :func:`repro.batch.check_many` call, so the slice is the amortization
+#: unit — big enough that shared enumeration/classification pay off,
+#: small enough that a large batch still spreads over the worker pool.
+BATCH_SHARD_PROGRAMS = 25
+
+
 def shard_request(
     normalized: Dict[str, Any], cache_root: Optional[str] = None
 ) -> List[Dict[str, Any]]:
@@ -134,6 +142,22 @@ def shard_request(
                 "cache_root": root,
             }
             for model in normalized["models"]
+        ]
+    if kind == "batch":
+        for spec in normalized["programs"]:
+            _resolve_program(spec)  # raise not_found/bad_field early
+        return [
+            {
+                "shard": "batch_chunk",
+                "programs": normalized["programs"][offset:offset + BATCH_SHARD_PROGRAMS],
+                "offset": offset,
+                "models": normalized["models"],
+                "options": normalized["options"],
+                "cache_root": cache_root,
+            }
+            for offset in range(
+                0, len(normalized["programs"]), BATCH_SHARD_PROGRAMS
+            )
         ]
     if kind == "sweep":
         from repro.workloads.base import get as get_workload
@@ -234,6 +258,35 @@ def execute_shard(shard: Dict[str, Any]) -> Dict[str, Any]:
         if tracer is not None:
             part["trace"] = to_dicts(tracer)
         return part
+    if kind == "batch_chunk":
+        from repro.batch import check_many
+
+        options = shard["options"]
+        models = shard["models"]
+        programs = [_resolve_program(spec) for spec in shard["programs"]]
+        results = list(check_many(
+            programs,
+            models=models,
+            engine=options["engine"],
+            jobs=1,  # shards are the parallelism unit; amortize inside
+            cache=cache,
+            max_executions=options["max_executions"],
+            backend=options["backend"],
+            dedup=options["dedup"],
+            exhaustive=options["exhaustive"],
+        ))
+        # check_many yields program-major / model-minor in input order,
+        # so consecutive len(models)-slices are one program each; the
+        # payloads are byte-identical to per-program check_model shards
+        # (the pipeline's core invariant, asserted by the batch bench).
+        entries = []
+        for index, program in enumerate(programs):
+            cells = results[index * len(models):(index + 1) * len(models)]
+            entries.append({
+                "program": program.name,
+                "models": {r.model: _check_payload(r) for r in cells},
+            })
+        return {"offset": shard["offset"], "programs": entries}
     if kind == "sweep_workload":
         from repro.eval.harness import CONFIG_ORDER, encode_observation, run_sweep
 
@@ -316,6 +369,33 @@ def merge_shards(
         if traces:
             result["trace"] = traces
         return result
+    if kind == "batch":
+        entries: List[Dict[str, Any]] = []
+        for part in sorted(parts, key=lambda p: p["offset"]):
+            entries.extend(part["programs"])
+        divergent: List[str] = []
+        for spec, entry in zip(normalized["programs"], entries):
+            expected = {
+                model: legal
+                for model, legal in _program_expectations(spec).items()
+                if model in entry["models"]
+            }
+            if expected:
+                entry["expected"] = expected
+                mismatches = sorted(
+                    model
+                    for model, legal in expected.items()
+                    if entry["models"][model]["legal"] != legal
+                )
+                if mismatches:
+                    entry["mismatches"] = mismatches
+                    divergent.append(entry["program"])
+        return {
+            "programs": entries,
+            "count": len(entries),
+            "models": list(normalized["models"]),
+            "mismatched_programs": divergent,
+        }
     if kind == "sweep":
         from repro.eval.harness import CONFIG_ORDER, SweepResult, decode_observation
 
@@ -490,6 +570,49 @@ def check_program(
             "exhaustive": exhaustive,
             "max_executions": max_executions,
             "trace": trace,
+            "engine": engine,
+        },
+    }
+    if models is not None:
+        request["models"] = list(models)
+    return handle_request(request, cache=cache, jobs=jobs)
+
+
+def check_batch(
+    programs: Sequence[Dict[str, str]],
+    models: Optional[Sequence[str]] = None,
+    *,
+    backend: Optional[str] = None,
+    dedup: bool = True,
+    exhaustive: bool = True,
+    max_executions: Optional[int] = None,
+    engine: str = "enum",
+    cache: CacheSpec = None,
+    jobs: Optional[int] = 1,
+    request_id: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Check many litmus programs in one request; returns the v1 envelope.
+
+    *programs* is a list of program specs — each ``{"name": ...}`` (a
+    litmus-library test) or ``{"source": ...}`` (DSL text).  The request
+    runs through the amortizing :func:`repro.batch.check_many` pipeline
+    in :data:`BATCH_SHARD_PROGRAMS`-program shards; each program's
+    per-model payload is byte-identical to a standalone
+    :func:`check_program` call.  Programs with declared expectations
+    (library tests, ``# expect:`` headers) get per-entry ``expected`` /
+    ``mismatches`` fields, and the result lists ``mismatched_programs``
+    — which is all a differential corpus replay needs to read.
+    """
+    request: Dict[str, Any] = {
+        "schema_version": 1,
+        "kind": "batch",
+        "id": request_id,
+        "programs": list(programs),
+        "options": {
+            "backend": backend,
+            "dedup": dedup,
+            "exhaustive": exhaustive,
+            "max_executions": max_executions,
             "engine": engine,
         },
     }

@@ -34,6 +34,20 @@ Request shapes (v1)
                  "max_executions": null, "trace": false,
                  "engine": "enum"}}              # all optional
 
+``batch`` — check many litmus programs in one request, through the
+amortizing :func:`repro.batch.check_many` pipeline (shared enumerations,
+shared race classification, one warm worker pool)::
+
+    {"schema_version": 1, "kind": "batch", "id": "fuzz-0",
+     "programs": [{"name": "mp_paired"}, {"source": "<DSL text>"}],
+     "models": ["drf0", "drf1", "drfrlx"],       # optional, default all
+     "options": {"backend": "auto", "dedup": true, "exhaustive": true,
+                 "max_executions": null, "engine": "enum"}}  # all optional
+
+Each program's per-model payload is byte-identical to what a ``check``
+request for that program alone would return (``trace`` is the one
+check-only option; a batch never captures traces).
+
 ``sweep`` — run workloads over the six simulated configurations::
 
     {"schema_version": 1, "kind": "sweep",
@@ -58,8 +72,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 #: carrying any other value are rejected with ``unsupported_version``.
 SCHEMA_VERSION = 1
 
-#: The request kinds v1 defines.
-KINDS = ("check", "sweep", "audit")
+#: The request kinds v1 defines.  ``batch`` was added post-v1: old
+#: requests are untouched and old servers answer it with
+#: ``unknown_kind``, so no version bump.
+KINDS = ("check", "sweep", "audit", "batch")
+
+#: Upper bound on ``programs`` in one batch request — a service-side
+#: memory guard (the response carries one payload per program-model
+#: cell); split larger corpora across requests.
+MAX_BATCH_PROGRAMS = 10000
 
 #: Valid ``options.backend`` values for check/audit requests (mirrors
 #: ``repro.core.relations.resolve_backend``).
@@ -230,6 +251,35 @@ def _validate_check_options(options: Any) -> Dict[str, Any]:
     }
 
 
+def _validate_batch_options(options: Any) -> Dict[str, Any]:
+    """Check options minus ``trace`` — a batch never captures traces
+    (the payloads must stay small and cacheable), so the field is
+    rejected rather than silently dropped."""
+    if options is None:
+        options = {}
+    if not isinstance(options, dict):
+        raise _bad("options", f"expected an object, got {type(options).__name__}")
+    _require_keys(
+        options,
+        ("backend", "dedup", "exhaustive", "max_executions", "engine"),
+        "options",
+    )
+    max_executions = options.get("max_executions")
+    if max_executions is not None and (
+        isinstance(max_executions, bool)
+        or not isinstance(max_executions, int)
+        or max_executions < 1
+    ):
+        raise _bad("options.max_executions", "expected a positive integer or null")
+    return {
+        "backend": _choice(options, "backend", BACKENDS, "auto", "options"),
+        "dedup": _bool(options, "dedup", True, "options"),
+        "exhaustive": _bool(options, "exhaustive", True, "options"),
+        "max_executions": max_executions,
+        "engine": _choice(options, "engine", CHECK_ENGINES, "enum", "options"),
+    }
+
+
 def _validate_audit_options(options: Any) -> Dict[str, Any]:
     if options is None:
         options = {}
@@ -283,6 +333,33 @@ def validate_request(obj: Any) -> Dict[str, Any]:
             "program": _validate_program(obj["program"]),
             "models": _validate_models(obj.get("models")),
             "options": _validate_check_options(obj.get("options")),
+        }
+    if kind == "batch":
+        _require_keys(obj, common + ("programs", "models", "options"), "request")
+        programs = obj.get("programs")
+        if not isinstance(programs, list) or not programs:
+            raise _bad("programs", "expected a non-empty list of program specs")
+        if len(programs) > MAX_BATCH_PROGRAMS:
+            raise _bad(
+                "programs",
+                f"at most {MAX_BATCH_PROGRAMS} programs per batch request, "
+                f"got {len(programs)}",
+            )
+        normalized_programs = []
+        for index, spec in enumerate(programs):
+            try:
+                normalized_programs.append(_validate_program(spec))
+            except SchemaError as err:
+                raise SchemaError(
+                    err.code, f"programs[{index}].{err.message}"
+                ) from None
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "batch",
+            "id": request_id,
+            "programs": normalized_programs,
+            "models": _validate_models(obj.get("models")),
+            "options": _validate_batch_options(obj.get("options")),
         }
     if kind == "sweep":
         _require_keys(obj, common + ("workloads", "scale", "engine"), "request")

@@ -315,6 +315,60 @@ def cmd_litmus(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential litmus fuzzing: campaign mode, or replay a banked case."""
+    from repro.litmus.fuzz import replay, run_campaign
+
+    if args.replay:
+        if args.replay[0] != "replay" or len(args.replay) < 2:
+            print(
+                "usage: repro fuzz [--seed S --count N --budget T] | "
+                "repro fuzz replay PATH [PATH ...]",
+                file=sys.stderr,
+            )
+            return 2
+        exit_code = 0
+        for path in args.replay[1:]:
+            try:
+                rows = replay(path)
+            except OSError as err:
+                print(f"repro fuzz replay: {err}", file=sys.stderr)
+                return 2
+            print(f"{path}:")
+            by_config: dict = {}
+            for config, model, verdict_str in rows:
+                by_config.setdefault(config, []).append((model, verdict_str))
+            reference = dict(by_config.get("enum", ()))
+            for config, cells in by_config.items():
+                diverged = [m for m, v in cells if reference.get(m) != v]
+                status = (
+                    "  DIVERGES" if config != "enum" and diverged else ""
+                )
+                print(
+                    f"  {config:16s} "
+                    + " ".join(f"{m}={v}" for m, v in cells)
+                    + status
+                )
+                if diverged and config != "enum":
+                    exit_code = 1
+        return exit_code
+
+    bank: dict = {}
+    if args.no_bank:
+        bank["bank_dir"] = None
+    elif args.bank_dir:
+        bank["bank_dir"] = args.bank_dir
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        budget_s=args.budget,
+        jobs=args.jobs,
+        **bank,
+    )
+    print(report.summary())
+    return 1 if report.divergences else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the checker service (stdin-JSONL, or HTTP with ``--http``)."""
     from repro.serve import main_serve
@@ -425,6 +479,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "enum against sat and keeps the winner "
                         "(default enum). Verdicts are identical either way")
     p.set_defaults(func=cmd_litmus)
+
+    p = sub.add_parser(
+        "fuzz", parents=[shared],
+        help="differential litmus fuzzing: generate seeded random "
+             "programs, check them through every engine configuration "
+             "via the batched pipeline, minimize and bank any verdict "
+             "divergence; 'fuzz replay PATH' re-checks a banked case "
+             "(see docs/fuzzing.md)",
+    )
+    p.add_argument("replay", nargs="*", metavar="replay PATH",
+                   help="replay banked corpus case(s) instead of running "
+                        "a campaign: print the per-configuration verdict "
+                        "table, exit 1 on divergence")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign PRNG seed; same seed + count = same "
+                        "programs, bit for bit (default 0)")
+    p.add_argument("--count", type=int, default=500,
+                   help="programs to generate and check (default 500)")
+    p.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; the campaign stops early and "
+                        "reports how far it got (default: none)")
+    p.add_argument("--bank-dir", default=None, metavar="DIR",
+                   help="where minimized divergence reproducers are "
+                        "banked (default: the packaged "
+                        "litmus/corpus/fuzz/ directory)")
+    p.add_argument("--no-bank", action="store_true",
+                   help="report divergences without writing corpus files")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "serve", parents=[shared],

@@ -1000,8 +1000,17 @@ def static_step_bound(program: Program) -> int:
     performs (loops weighted by their unrolling bound).  This is the
     size measure behind the small-program fast path: it is cheap, purely
     syntactic, and monotone in the interleaving space the enumerator
-    would have to search."""
-    return sum(_body_step_bound(thread.body) for thread in program.threads)
+    would have to search.
+
+    The bound is memoized on the (frozen, immutable) program instance,
+    so the gate in :func:`enumerate_sc_executions` and the router's
+    feature extraction re-walk each program's AST at most once.
+    """
+    cached = program.__dict__.get("_step_bound")
+    if cached is None:
+        cached = sum(_body_step_bound(thread.body) for thread in program.threads)
+        object.__setattr__(program, "_step_bound", cached)
+    return cached
 
 
 def enumerate_sc_executions(
@@ -1040,6 +1049,27 @@ def enumerate_sc_executions(
     (see :mod:`repro.core.relations`); it does not affect the execution
     set or the cache key, and is applied to cached results as well.
     """
+    # Fast path: under engine defaults with no cache, tracer, or backend
+    # stamping, naive programs and small-program-gated ones go straight
+    # to the naive interleaver.  This is the hot loop of tiny litmus
+    # checks; routing them here costs one memoized-bound lookup and no
+    # allocations, so the gated default path times identically to an
+    # explicit ``naive=True`` call (the sub-1.0x per-program entries in
+    # earlier bench records were exactly this dispatch overhead).
+    if (
+        cache is None
+        and backend is None
+        and (tracer is None or not tracer.enabled)
+        and (
+            naive
+            or (memo is None and static_step_bound(program) <= SMALL_PROGRAM_STEPS)
+        )
+    ):
+        return _enumerate_naive(
+            program, max_executions,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+        )
+
     tracer = tracer if tracer is not None else NULL_TRACER
 
     store = None

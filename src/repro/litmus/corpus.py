@@ -52,12 +52,27 @@ def _parse_expectations(text: str) -> Dict[str, Tuple[bool, Tuple[str, ...]]]:
 
 
 def load_corpus(directory: str = CORPUS_DIR) -> Tuple[CorpusEntry, ...]:
-    """Parse every ``*.litmus`` file in *directory*."""
+    """Parse every ``*.litmus`` file in *directory*.
+
+    Also collects the ``fuzz/`` subdirectory, where ``python -m repro
+    fuzz`` banks minimized divergence reproducers (see
+    :mod:`repro.litmus.fuzz`) — so every banked case is replayed by the
+    corpus test suite forever, with no registration step.
+    """
+    paths = [
+        os.path.join(directory, filename)
+        for filename in sorted(os.listdir(directory))
+        if filename.endswith(".litmus")
+    ]
+    fuzz_dir = os.path.join(directory, "fuzz")
+    if os.path.isdir(fuzz_dir):
+        paths.extend(
+            os.path.join(fuzz_dir, filename)
+            for filename in sorted(os.listdir(fuzz_dir))
+            if filename.endswith(".litmus")
+        )
     entries = []
-    for filename in sorted(os.listdir(directory)):
-        if not filename.endswith(".litmus"):
-            continue
-        path = os.path.join(directory, filename)
+    for path in paths:
         with open(path) as handle:
             text = handle.read()
         program = parse(text)

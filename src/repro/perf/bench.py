@@ -28,7 +28,8 @@ Run ``python -m repro bench [--scale S] [--jobs N] [--repeat R]
 (``python -m repro.perf.bench`` is a deprecated alias).  ``--section``
 restricts the run to a comma-separated subset of ``enumeration``,
 ``relcheck``, ``solver``, ``sweep``, ``simgen``, ``cache``, ``tracing``,
-``serve``.  The ``solver`` section races SAT-backed checking against
+``serve``, ``batch``.  The ``solver`` section races SAT-backed checking
+against
 the explicit enumerator on the scaling litmus families and records the
 crossover; the ``serve`` section load-tests the checker service
 end-to-end — a mixed litmus+sweep batch through
@@ -1183,10 +1184,135 @@ def bench_serve(
     }
 
 
+def bench_batch(
+    count: int = 500,
+    seed: int = 0,
+    repeat: int = 3,
+    chunk: int = 25,
+) -> Dict:
+    """Batched checking vs the naive per-program loop, byte-identical.
+
+    Checks *count* fuzz-generated programs (seed *seed*) against all
+    three models two ways: a naive ``model.check`` loop (one fresh call
+    per (program, model) cell) and :func:`repro.batch.check_many` with
+    ``jobs=1``, so the measured gap is amortization alone — shared
+    enumerations relabeled per model, shared race classification, memoized
+    engine routing — not parallelism.
+
+    The 1-CPU bench host's clock drifts tens of percent between
+    measurement windows, so the arms are interleaved ABBA over *chunk*-
+    program slices (naive-first on even chunks, batch-first on odd) and
+    timed with ``time.process_time``; linear drift then cancels instead
+    of landing on whichever arm ran second.  The recorded ``speedup``
+    compares each arm's best-of-*repeat* CPU time — the harness's usual
+    noise filter (noise only ever adds time) — with the raw
+    per-repetition ratios alongside.
+
+    Also the pipeline's end-to-end equivalence check: every repetition
+    asserts the 3 * count batched payloads are byte-identical to the
+    naive ones under the canonical v1 encoding.  Target: >=2x checks/sec
+    on one CPU.
+    """
+    from repro.api.core import _check_payload
+    from repro.batch import check_many, clear_batch_state
+    from repro.core.model import MODELS, check
+    from repro.litmus.fuzz import generate
+
+    programs = generate(seed, count)
+    models = list(MODELS)
+
+    def run_naive(slice_):
+        start = time.process_time()
+        out = [check(p, m) for p in slice_ for m in models]
+        return out, time.process_time() - start
+
+    def run_batch(slice_):
+        start = time.process_time()
+        out = list(check_many(slice_, models=models, jobs=1))
+        return out, time.process_time() - start
+
+    # Warm both code paths (imports, calibration tables) off the clock.
+    warm = programs[: min(chunk, count)]
+    run_naive(warm)
+    run_batch(warm)
+
+    encode_payload = lambda r: json.dumps(  # noqa: E731 - local shorthand
+        _check_payload(r), sort_keys=True, default=repr
+    )
+    ratios: List[float] = []
+    cpu_naive = cpu_batched = float("inf")
+    wall_naive = wall_batched = float("inf")
+    for _ in range(max(1, repeat)):
+        # Fresh batch state per repetition: within one repetition the
+        # chunks share state, exactly like one ``check_many`` call over
+        # all *count* programs (the serial path keeps one module-global
+        # memo for the whole call); across repetitions each batch starts
+        # cold.  The naive arm's own global memos (the prepared-program
+        # memo in ``repro.core.model``) are never cleared, so if anything
+        # the handicap favors the naive loop.
+        clear_batch_state()
+        t_naive = t_batched = 0.0
+        w_naive = w_batched = 0.0
+        naive: List = []
+        batched: List = []
+        for index, offset in enumerate(range(0, len(programs), chunk)):
+            slice_ = programs[offset:offset + chunk]
+            order = (
+                (run_naive, run_batch) if index % 2 == 0
+                else (run_batch, run_naive)
+            )
+            for arm in order:
+                wall = time.perf_counter()
+                out, cpu = arm(slice_)
+                wall = time.perf_counter() - wall
+                if arm is run_naive:
+                    naive += out
+                    t_naive += cpu
+                    w_naive += wall
+                else:
+                    batched += out
+                    t_batched += cpu
+                    w_batched += wall
+        if [encode_payload(r) for r in naive] != \
+                [encode_payload(r) for r in batched]:
+            raise AssertionError(
+                "check_many payloads are not byte-identical to the naive "
+                "per-program model.check loop"
+            )
+        ratios.append(t_naive / t_batched if t_batched > 0 else float("inf"))
+        cpu_naive = min(cpu_naive, t_naive)
+        cpu_batched = min(cpu_batched, t_batched)
+        wall_naive = min(wall_naive, w_naive)
+        wall_batched = min(wall_batched, w_batched)
+
+    cells = len(programs) * len(models)
+    speedup = cpu_naive / cpu_batched if cpu_batched > 0 else float("inf")
+    return {
+        "programs": len(programs),
+        "models": len(models),
+        "checks": cells,
+        "seed": seed,
+        "chunk": chunk,
+        "repeat": max(1, repeat),
+        "wall_s_naive": wall_naive,
+        "wall_s_batched": wall_batched,
+        "cpu_s_naive": cpu_naive,
+        "cpu_s_batched": cpu_batched,
+        "ratios": ratios,
+        "speedup": speedup,
+        "target_speedup": 2.0,
+        "checks_per_s_naive": cells / cpu_naive if cpu_naive > 0 else 0.0,
+        "checks_per_s_batched": (
+            cells / cpu_batched if cpu_batched > 0 else 0.0
+        ),
+        "identical": True,
+    }
+
+
 #: The sections ``run_bench`` knows, in run order.
 SECTIONS = (
     "enumeration", "relcheck", "solver", "sweep", "simgen", "cache",
-    "tracing", "serve",
+    "tracing", "serve", "batch",
 )
 
 #: Fractional wall-time increase over the baseline that
@@ -1314,6 +1440,10 @@ def run_bench(
             scale=min(scale, 0.2), workload=sweep_names[0], repeat=repeat
         ),
         "serve": lambda: bench_serve(scale=min(scale, 0.05), jobs=jobs),
+        "batch": lambda: bench_batch(
+            count=120 if quick else 500, repeat=min(repeat, 2) if quick
+            else repeat,
+        ),
     }
     record = {
         "date": date.today().isoformat(),
@@ -1484,6 +1614,18 @@ def summarize(record: Dict) -> str:
             f"p99 {serve['p99_ms_warm']:.1f}ms, "
             f"{serve['requests_per_s_warm']:.0f} req/s; "
             f"identical: {serve['identical']})"
+        )
+    batch = record.get("batch")
+    if batch:
+        lines.append(
+            f"batch: {batch['programs']} fuzz programs x {batch['models']} "
+            f"models ({batch['checks']} checks), cpu "
+            f"{batch['cpu_s_naive']:.2f}s naive loop -> "
+            f"{batch['cpu_s_batched']:.2f}s check_many "
+            f"({batch['speedup']:.2f}x best-of-{batch['repeat']}, "
+            f"target >={batch['target_speedup']:.1f}x; "
+            f"{batch['checks_per_s_batched']:.0f} checks/s; "
+            f"identical: {batch['identical']})"
         )
     return "\n".join(lines)
 

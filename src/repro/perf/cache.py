@@ -134,6 +134,11 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entry subdirectories already created by this instance.  Every
+        #: ``put`` used to re-stat the directory via ``os.makedirs``;
+        #: with 256 two-hex-digit shards a handful of stats per check
+        #: added up on bulk workloads, so directories are ensured once.
+        self._dirs_ensured: set = set()
 
     # -- keys ------------------------------------------------------------------
     def key(self, kind: str, material: Any) -> str:
@@ -183,9 +188,17 @@ class ResultCache:
         """Atomically store *value* under *key*; returns the entry path."""
         path = self._path(key, codec)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
+        if directory not in self._dirs_ensured:
+            os.makedirs(directory, exist_ok=True)
+            self._dirs_ensured.add(directory)
         record = {"schema_version": SCHEMA_VERSION, "value": value}
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".part")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".part")
+        except FileNotFoundError:
+            # The shard directory was removed externally after we ensured
+            # it (e.g. an rmtree between puts); recreate and retry once.
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".part")
         try:
             if codec == "json":
                 with os.fdopen(fd, "w") as handle:
@@ -231,6 +244,71 @@ class ResultCache:
         return (
             f"ResultCache({self.root!r}, hits={self.hits}, "
             f"misses={self.misses}, stores={self.stores})"
+        )
+
+
+class BatchHandle(ResultCache):
+    """An in-memory read-through / write-back layer over a cache store.
+
+    Bulk checking (:mod:`repro.batch`) runs hundreds of checks per
+    worker; routing each one's cache traffic straight to disk pays an
+    open/encode/replace per entry.  A ``BatchHandle`` keeps every value
+    it sees in process memory (raw objects, no pickling), serves repeat
+    reads from there, and queues writes until :meth:`flush` — called
+    once per bin — pushes them to the backing store in one pass.
+
+    ``BatchHandle`` subclasses :class:`ResultCache` so the existing
+    ``cache=`` plumbing (:func:`resolve_cache` passes instances through
+    unchanged) accepts it everywhere a cache is accepted.  With no
+    ``base`` store it acts as a purely in-memory memo — useful for
+    cross-model sharing within a batch even when disk caching is off.
+    """
+
+    def __init__(self, base: Optional[ResultCache] = None):
+        root = base.root if base is not None else default_cache_dir()
+        super().__init__(root)
+        self.base = base
+        self._memory: dict = {}
+        self._pending: dict = {}
+
+    def get(self, key: str, codec: str = "json") -> Tuple[bool, Any]:
+        entry = (key, codec)
+        if entry in self._memory:
+            self.hits += 1
+            return True, self._memory[entry]
+        if self.base is not None:
+            hit, value = self.base.get(key, codec)
+            if hit:
+                self._memory[entry] = value
+                self.hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any, codec: str = "json") -> str:
+        entry = (key, codec)
+        self._memory[entry] = value
+        if self.base is not None:
+            self._pending[entry] = value
+        self.stores += 1
+        return self._path(key, codec)
+
+    def flush(self) -> int:
+        """Write queued entries to the backing store; returns the count."""
+        pending, self._pending = self._pending, {}
+        for (key, codec), value in pending.items():
+            try:
+                self.base.put(key, value, codec)
+            except Exception:
+                # A full disk or unwritable store must not fail the batch;
+                # the values are still served from memory.
+                pass
+        return len(pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchHandle(base={self.base!r}, entries={len(self._memory)}, "
+            f"pending={len(self._pending)})"
         )
 
 

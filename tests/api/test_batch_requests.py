@@ -1,0 +1,119 @@
+"""The v1 ``batch`` request kind: validation, execution, cache identity."""
+
+import pytest
+
+from repro.api import (
+    check_batch,
+    check_program,
+    encode,
+    handle_request,
+    validate_request,
+)
+from repro.api.schema import MAX_BATCH_PROGRAMS, SchemaError
+
+TINY = "name: tiny\nthread:\n  st x 1\nthread:\n  r0 = ld x\n"
+
+
+def _request(**overrides):
+    request = {
+        "schema_version": 1,
+        "kind": "batch",
+        "programs": [{"name": "mp_paired"}, {"source": TINY}],
+    }
+    request.update(overrides)
+    return request
+
+
+# -- validation ----------------------------------------------------------------
+
+def test_normalization_fills_defaults():
+    normalized = validate_request(_request())
+    assert normalized["models"] == ["drf0", "drf1", "drfrlx"]
+    assert normalized["options"] == {
+        "backend": "auto", "dedup": True, "exhaustive": True,
+        "max_executions": None, "engine": "enum",
+    }
+
+
+@pytest.mark.parametrize(
+    "mutation, fragment",
+    [
+        ({"programs": []}, "non-empty list"),
+        ({"programs": "mp_paired"}, "non-empty list"),
+        ({"programs": [{"name": "a", "source": "b"}]}, "programs[0]"),
+        ({"programs": [{}]}, "programs[0]"),
+        ({"programs": [{"name": ""}]}, "programs[0]"),
+        ({"options": {"trace": True}}, "unknown field"),
+        ({"options": {"engine": "warp"}}, "engine"),
+        ({"models": ["drf9"]}, "unknown model"),
+        ({"extra": 1}, "unknown field"),
+    ],
+)
+def test_bad_requests_fail_validation(mutation, fragment):
+    with pytest.raises(SchemaError) as err:
+        validate_request(_request(**mutation))
+    assert fragment in err.value.message
+
+
+def test_oversized_batch_rejected():
+    request = _request(programs=[{"name": "mp_paired"}] * (MAX_BATCH_PROGRAMS + 1))
+    with pytest.raises(SchemaError) as err:
+        validate_request(request)
+    assert str(MAX_BATCH_PROGRAMS) in err.value.message
+
+
+def test_unknown_program_is_not_found():
+    response = handle_request(_request(programs=[{"name": "nosuch"}]))
+    assert not response["ok"]
+    assert response["error"]["code"] == "not_found"
+
+
+# -- execution -----------------------------------------------------------------
+
+def test_batch_cells_match_standalone_check():
+    specs = [{"name": "mp_paired"}, {"name": "sb_data"}, {"source": TINY}]
+    response = check_batch(specs)
+    assert response["ok"], response
+    result = response["result"]
+    assert result["count"] == len(specs)
+    assert result["models"] == ["drf0", "drf1", "drfrlx"]
+    for spec, entry in zip(specs, result["programs"]):
+        single = check_program(**spec)["result"]
+        assert entry["program"] == single["program"]
+        assert entry["models"] == single["models"]
+        assert entry.get("expected") == single.get("expected")
+
+
+def test_expectation_mismatches_surface_per_program():
+    lying = (
+        "# expect: drf0=illegal(data) drf1=legal drfrlx=legal\n"
+        "name: liar\nthread:\n  st x 1 paired\nthread:\n  r0 = ld x paired\n"
+    )
+    response = check_batch([{"source": lying}, {"name": "mp_paired"}])
+    assert response["ok"]
+    result = response["result"]
+    assert result["mismatched_programs"] == ["liar"]
+    assert result["programs"][0]["mismatches"] == ["drf0"]
+    assert "mismatches" not in result["programs"][1]
+
+
+def test_batch_spans_multiple_shards_and_jobs():
+    from repro.api.core import BATCH_SHARD_PROGRAMS, shard_request
+
+    specs = [{"name": "mp_paired"}] * (BATCH_SHARD_PROGRAMS + 3)
+    normalized = validate_request(_request(programs=specs))
+    shards = shard_request(normalized)
+    assert len(shards) == 2
+    assert [len(s["programs"]) for s in shards] == [BATCH_SHARD_PROGRAMS, 3]
+    serial = encode(check_batch(specs, jobs=1))
+    fanned = encode(check_batch(specs, jobs=2))
+    assert serial == fanned
+
+
+def test_cached_batch_replays_byte_identically(tmp_path):
+    request = _request(id="r1")
+    cold = encode(handle_request(dict(request), cache=str(tmp_path)))
+    warm = encode(handle_request(dict(request), cache=str(tmp_path)))
+    assert cold == warm
+    uncached = encode(handle_request(dict(request)))
+    assert cold == uncached

@@ -1,0 +1,233 @@
+"""The differential litmus fuzzer: generation, minimization, banking."""
+
+import os
+
+import pytest
+
+from repro.core.model import MODELS, check
+from repro.litmus.corpus import load_corpus
+from repro.litmus.dsl import parse
+from repro.litmus.fuzz import (
+    Divergence,
+    FuzzConfig,
+    bank_divergence,
+    default_configs,
+    generate,
+    generate_program,
+    minimize,
+    replay,
+    run_campaign,
+    verdict,
+)
+from repro.litmus.render import render
+
+
+# -- generation ----------------------------------------------------------------
+
+def test_generation_is_seed_deterministic():
+    first = [render(p) for p in generate(7, 20)]
+    second = [render(p) for p in generate(7, 20)]
+    assert first == second
+    assert first != [render(p) for p in generate(8, 20)]
+
+
+def test_generation_is_index_stable():
+    # Program i depends only on (seed, i), so growing the campaign
+    # keeps every earlier program's identity (and its banked names).
+    assert render(generate_program(3, 5)) == render(generate(3, 10)[5])
+
+
+def test_generated_programs_render_roundtrip():
+    for program in generate(11, 10):
+        again = parse(render(program))
+        assert render(again) == render(program)
+        for model in MODELS:
+            assert verdict(check(again, model)) == verdict(
+                check(program, model)
+            )
+
+
+def test_generated_names_are_unique():
+    names = [p.name for p in generate(0, 40)]
+    assert len(set(names)) == len(names)
+
+
+# -- minimization --------------------------------------------------------------
+
+def _instr_count(program):
+    from repro.litmus.ast import If
+
+    def count(body):
+        total = 0
+        for instr in body:
+            total += 1
+            if isinstance(instr, If):
+                total += count(instr.then) + count(instr.orelse)
+        return total
+
+    return sum(count(thread.body) for thread in program.threads)
+
+
+def _walk(body):
+    from repro.litmus.ast import If
+
+    for instr in body:
+        yield instr
+        if isinstance(instr, If):
+            yield from _walk(instr.then)
+            yield from _walk(instr.orelse)
+
+
+def test_minimize_preserves_predicate_and_shrinks():
+    from repro.litmus.ast import Store
+
+    program = generate_program(5, 2)
+
+    def has_store(candidate):
+        return any(
+            isinstance(instr, Store)
+            for thread in candidate.threads
+            for instr in _walk(thread.body)
+        )
+
+    assert has_store(program)
+    small = minimize(program, has_store)
+    assert has_store(small)
+    assert _instr_count(small) <= _instr_count(program)
+    # 1-minimal: removing any single instruction kills the predicate
+    # or the program; the fixpoint loop guarantees it stopped shrinking.
+    assert render(parse(render(small))) == render(small)
+
+
+def test_minimize_never_raises_on_flaky_predicate():
+    program = generate_program(5, 3)
+    calls = []
+
+    def flaky(candidate):
+        calls.append(candidate)
+        raise RuntimeError("engine crashed on the reduced program")
+
+    # A predicate that errors on a candidate just rejects the reduction.
+    assert render(minimize(program, flaky)) == render(program)
+    assert calls
+
+
+# -- campaign / banking --------------------------------------------------------
+
+def _wrong_engine(program, model):
+    """A deliberately broken engine: flips every legality verdict."""
+    result = check(program, model)
+
+    class Lie:
+        legal = not result.legal
+        race_kinds = () if not result.legal else ("data",)
+
+    return Lie()
+
+
+def test_campaign_clean_on_reference_configs():
+    report = run_campaign(
+        seed=1, count=6, configs=[FuzzConfig("enum-again", check)],
+        bank_dir=None,
+    )
+    assert report.programs_checked == 6
+    assert not report.divergences
+    assert report.checks_run == 6 * len(MODELS) * 2  # reference + 1 config
+
+
+def test_campaign_banks_crafted_divergence(tmp_path):
+    bank = str(tmp_path / "bank")
+    report = run_campaign(
+        seed=0, count=4,
+        configs=[FuzzConfig("wrong-engine", _wrong_engine)],
+        bank_dir=bank,
+    )
+    assert report.divergences
+    banked = sorted(os.listdir(bank))
+    assert banked and all(f.endswith(".litmus") for f in banked)
+    # Banked reproducers carry reference expectations and replay clean
+    # under the real checker — a found divergence becomes a regression
+    # test the moment it is written.
+    for entry in load_corpus(bank):
+        assert set(entry.expectations) == set(MODELS)
+        for model, (legal, _kinds) in entry.expectations.items():
+            assert check(entry.program, model).legal == legal
+    div = report.divergences[0]
+    assert div.banked_path and os.path.exists(div.banked_path)
+    assert div.minimized is not None
+    assert _instr_count(div.minimized) <= _instr_count(div.program)
+
+
+def test_campaign_budget_stops_early():
+    report = run_campaign(seed=0, count=50, budget_s=1e-9, bank_dir=None)
+    assert report.budget_exhausted
+    assert report.programs_checked < 50
+
+
+def test_bank_divergence_writes_expect_header(tmp_path):
+    program = generate_program(2, 0)
+    div = Divergence(
+        program=program, model="drf0", config="stub",
+        expected=(True, ()), got=(False, ("data",)),
+    )
+    path = bank_divergence(div, str(tmp_path))
+    text = open(path).read()
+    assert "# expect:" in text and "config=stub" in text
+    assert parse(text).name == program.name
+
+
+# -- replay / corpus collection ------------------------------------------------
+
+def test_replay_reports_every_config(tmp_path):
+    program = generate_program(4, 1)
+    div = Divergence(
+        program=program, model="drf0", config="stub",
+        expected=(True, ()), got=(False, ()),
+    )
+    path = bank_divergence(div, str(tmp_path))
+    rows = replay(path)
+    configs = {config for config, _model, _verdict in rows}
+    assert "enum" in configs
+    assert {c.name for c in default_configs()} <= configs
+    # the real engines all agree on a banked case with honest verdicts
+    reference = {m: v for c, m, v in rows if c == "enum"}
+    assert all(reference[m] == v for _c, m, v in rows)
+
+
+def test_replay_cli_usage_errors():
+    from repro.cli import main
+
+    assert main(["fuzz", "replay"]) == 2  # no paths
+    assert main(["fuzz", "replay", "/no/such/file.litmus"]) == 2
+
+
+def test_corpus_collects_banked_fuzz_cases(tmp_path):
+    corpus = tmp_path / "corpus"
+    fuzz_dir = corpus / "fuzz"
+    fuzz_dir.mkdir(parents=True)
+    program = generate_program(6, 2)
+    div = Divergence(
+        program=program, model="drf1", config="stub",
+        expected=(True, ()), got=(False, ()),
+    )
+    bank_divergence(div, str(fuzz_dir))
+    names = [entry.name for entry in load_corpus(str(corpus))]
+    assert program.name in names
+
+
+def test_packaged_fuzz_corpus_replays_clean():
+    # Whatever is banked in the shipped corpus must still diverge-free
+    # under the reference checker (the expectations are its verdicts).
+    from repro.litmus.fuzz import FUZZ_CORPUS_DIR
+
+    if not os.path.isdir(FUZZ_CORPUS_DIR):
+        pytest.skip("no banked fuzz cases")
+    for filename in sorted(os.listdir(FUZZ_CORPUS_DIR)):
+        if not filename.endswith(".litmus"):
+            continue
+        for config, model, verdict_str in replay(
+            os.path.join(FUZZ_CORPUS_DIR, filename)
+        ):
+            assert not verdict_str.startswith("error:"), (
+                filename, config, model, verdict_str
+            )

@@ -58,7 +58,7 @@ def test_bench_harness_emits_valid_json(tmp_path):
         record = json.load(handle)
     assert set(record) == {
         "date", "host", "enumeration", "relcheck", "solver", "sweep",
-        "simgen", "tracing", "cache", "serve",
+        "simgen", "tracing", "cache", "serve", "batch",
     }
     assert record["host"]["cpu_count"] >= 1
     relcheck = record["relcheck"]
@@ -98,6 +98,10 @@ def test_bench_harness_emits_valid_json(tmp_path):
         assert row["wall_s_sat"] > 0
     assert solver["wall_s_scaling_sat"] > 0
     assert solver["wall_s_scaling_enum"] > 0
+    batch = record["batch"]
+    assert batch["identical"] is True
+    assert batch["checks"] == batch["programs"] * batch["models"]
+    assert batch["cpu_s_naive"] > 0 and batch["cpu_s_batched"] > 0
 
 
 @pytest.mark.bench
@@ -111,7 +115,7 @@ def test_bench_cli_quick(tmp_path, capsys):
     out = captured.out
     assert "enumeration:" in out and "sweep:" in out and "tracing:" in out
     assert "cache:" in out and "simgen:" in out and "relcheck:" in out
-    assert "serve:" in out and "solver:" in out
+    assert "serve:" in out and "solver:" in out and "batch:" in out
     assert "deprecated" in captured.err
 
 

@@ -14,6 +14,7 @@ from repro.obs.tracer import Tracer
 from repro.perf.cache import (
     CACHE_DIR_ENV,
     CACHE_ENV,
+    BatchHandle,
     ResultCache,
     code_fingerprint,
     default_cache_dir,
@@ -236,6 +237,63 @@ class TestResolution:
         assert resolve_cache(str(tmp_path)).root == str(tmp_path)
         store = ResultCache(str(tmp_path))
         assert resolve_cache(store) is store
+
+
+class TestBatchHandle:
+    """Satellite: the batch layer's read-through/write-back cache handle."""
+
+    def test_resolve_cache_passes_through(self, store):
+        handle = BatchHandle(store)
+        assert resolve_cache(handle) is handle
+
+    def test_write_back_deferred_until_flush(self, store):
+        handle = BatchHandle(store)
+        key = handle.key("unit", {"a": 1})
+        handle.put(key, {"value": 1})
+        assert store.entry_count() == 0  # nothing on disk yet
+        assert handle.get(key) == (True, {"value": 1})  # served from memory
+        assert handle.flush() == 1
+        assert store.get(key) == (True, {"value": 1})
+        assert handle.flush() == 0  # queue drained
+
+    def test_read_through_populates_memory(self, store):
+        key = store.key("unit", {"b": 2})
+        store.put(key, {"value": 2})
+        handle = BatchHandle(store)
+        assert handle.get(key) == (True, {"value": 2})
+        base_hits = store.hits
+        assert handle.get(key) == (True, {"value": 2})
+        assert store.hits == base_hits  # second read never touched disk
+
+    def test_raw_objects_survive_without_pickling(self, store):
+        handle = BatchHandle(store)
+        sentinel = object()  # not picklable round-trip-equal, not JSON-able
+        key = handle.key("unit", "raw")
+        handle.put(key, sentinel, codec="pickle")
+        hit, value = handle.get(key, codec="pickle")
+        assert hit and value is sentinel
+
+    def test_baseless_handle_is_pure_memo(self):
+        handle = BatchHandle()
+        key = handle.key("unit", "memo")
+        assert handle.get(key) == (False, None)
+        handle.put(key, [1, 2, 3])
+        assert handle.get(key) == (True, [1, 2, 3])
+        assert handle.flush() == 0  # nothing to write anywhere
+
+    def test_enumeration_through_handle_matches_direct(self, store):
+        program = get_litmus("mp_paired").program
+        direct = enumerate_sc_executions(program)
+        handle = BatchHandle(store)
+        cold = enumerate_sc_executions(program, cache=handle)
+        warm = enumerate_sc_executions(program, cache=handle)
+        assert store.entry_count() == 0
+        handle.flush()
+        assert store.entry_count() == 1
+        for enum in (cold, warm):
+            assert {e.canonical_key() for e in enum.executions} == {
+                e.canonical_key() for e in direct.executions
+            }
 
 
 class TestEnumerationCache:

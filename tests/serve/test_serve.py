@@ -2,8 +2,9 @@
 
 The golden fixtures under ``golden/`` pin the v1 wire protocol: one
 request per line in ``requests.jsonl`` (valid checks, malformed JSON, an
-unsupported ``schema_version``, an unknown kind, an unknown test, and a
-replay of an earlier request), and the byte-exact response lines in
+unsupported ``schema_version``, an unknown kind, an unknown test, a
+replay of an earlier request, and a two-program batch), and the
+byte-exact response lines in
 ``responses.jsonl``.  Responses carry no timestamps or timings, so the
 service, the direct API, and a cache-hit replay must all reproduce the
 golden bytes exactly.
@@ -65,7 +66,7 @@ class TestGolden:
         # (g8 is a same-key replay of g1 even on the cold run); the only
         # warm miss is the not_found request, which probes the cache but
         # never stores (error envelopes are not cached).
-        assert store.hits == 4
+        assert store.hits == 5
         assert store.misses == 1
 
     def test_golden_covers_the_error_codes(self):
